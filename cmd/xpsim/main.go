@@ -1,0 +1,57 @@
+// Command xpsim runs the paper-reproduction experiments: one per table
+// and figure of the ExpressPass evaluation (SIGCOMM 2017).
+//
+// Usage:
+//
+//	xpsim -list
+//	xpsim [-scale 0.1] [-seed 42] fig15 fig16 table3
+//	xpsim -all
+//
+// Scale 1.0 reproduces the paper-scale configuration (hours of CPU);
+// the default scale runs laptop-fast shape checks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"expresspass"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "experiment scale in (0,1]; 1.0 = paper scale")
+	seed := flag.Uint64("seed", 42, "deterministic random seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	if *list {
+		for _, e := range expresspass.Experiments() {
+			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if *all {
+		ids = nil
+		for _, e := range expresspass.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: xpsim [-scale S] [-seed N] <experiment id>... | -all | -list")
+		os.Exit(2)
+	}
+	params := expresspass.ExperimentParams{Scale: *scale, Seed: *seed}
+	for _, id := range ids {
+		start := time.Now()
+		if err := expresspass.RunExperiment(id, params, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("   (%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,63 @@
+// Multiclass: quality of service the ExpressPass way (§7). Instead of
+// scheduling data queues, the switch prioritizes the *credit* queues —
+// throttling whose credits pass controls whose data arrives. A
+// latency-sensitive class is given strict priority over a bulk class on
+// a shared 10G link, then the policy is switched to a 3:1 weighted
+// share.
+//
+//	go run ./examples/multiclass
+package main
+
+import (
+	"fmt"
+
+	"expresspass"
+)
+
+func run(policy string, classes []expresspass.CreditClassConfig) {
+	eng := expresspass.NewEngine(11)
+	net := expresspass.NewNetwork(eng)
+	left := net.NewSwitch("left")
+	right := net.NewSwitch("right")
+	link := expresspass.Link(10*expresspass.Gbps, 4*expresspass.Microsecond)
+	link.CreditClasses = classes
+	net.Connect(left, right, link)
+
+	mk := func(name string, sw *expresspass.Switch) *expresspass.Host {
+		h := net.NewHost(name, expresspass.HardwareNIC())
+		net.Connect(h, sw, link)
+		return h
+	}
+	interactiveSrc, interactiveDst := mk("i-src", left), mk("i-dst", right)
+	bulkSrc, bulkDst := mk("b-src", left), mk("b-dst", right)
+	net.BuildRoutes()
+
+	interactive := expresspass.NewFlow(net, interactiveSrc, interactiveDst, 0, 0)
+	expresspass.Dial(interactive, expresspass.Config{
+		BaseRTT: 50 * expresspass.Microsecond, Class: 0,
+	})
+	bulk := expresspass.NewFlow(net, bulkSrc, bulkDst, 0, 0)
+	expresspass.Dial(bulk, expresspass.Config{
+		BaseRTT: 50 * expresspass.Microsecond, Class: 1,
+	})
+
+	eng.RunUntil(20 * expresspass.Millisecond)
+	interactive.TakeDeliveredDelta()
+	bulk.TakeDeliveredDelta()
+	meas := 30 * expresspass.Millisecond
+	eng.RunFor(meas)
+
+	gi := float64(interactive.TakeDeliveredDelta()) * 8 / meas.Seconds() / 1e9
+	gb := float64(bulk.TakeDeliveredDelta()) * 8 / meas.Seconds() / 1e9
+	fmt.Printf("%-22s interactive %5.2f Gbps | bulk %5.2f Gbps\n", policy, gi, gb)
+}
+
+func main() {
+	run("fair (single class)", nil)
+	run("strict priority", []expresspass.CreditClassConfig{
+		{Priority: 0}, {Priority: 1},
+	})
+	run("weighted 3:1", []expresspass.CreditClassConfig{
+		{Priority: 0, Weight: 3}, {Priority: 0, Weight: 1},
+	})
+}

@@ -1,0 +1,28 @@
+// Paperfigs: drive the experiment registry programmatically — the same
+// harness cmd/xpsim and the benchmarks use — to regenerate two of the
+// paper's figures at a quick scale.
+//
+//	go run ./examples/paperfigs
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"expresspass"
+)
+
+func main() {
+	params := expresspass.ExperimentParams{Scale: 0.05, Seed: 1}
+	for _, id := range []string{"fig9", "fig10"} {
+		if err := expresspass.RunExperiment(id, params, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	fmt.Println("available experiments:")
+	for _, e := range expresspass.Experiments() {
+		fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+	}
+}

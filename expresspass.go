@@ -1,0 +1,160 @@
+// Package expresspass is a from-scratch Go implementation of
+// ExpressPass — "Credit-Scheduled Delay-Bounded Congestion Control for
+// Datacenters" (Cho, Jang, Han; SIGCOMM 2017) — together with the
+// packet-level network simulator, baseline congestion controls (DCTCP,
+// RCP, DX, HULL, CUBIC, an ideal-rate oracle), workload generators, and
+// the benchmark harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// The root package is a thin facade: it re-exports the building blocks a
+// downstream user needs to script their own simulations and exposes the
+// experiment registry used by cmd/xpsim and the benchmarks.
+//
+// # Quick start
+//
+//	eng := expresspass.NewEngine(1)
+//	net := expresspass.NewNetwork(eng)
+//	sw := net.NewSwitch("tor")
+//	a := net.NewHost("a", expresspass.HardwareNIC())
+//	b := net.NewHost("b", expresspass.HardwareNIC())
+//	net.Connect(a, sw, expresspass.Link(10*expresspass.Gbps, 4*expresspass.Microsecond))
+//	net.Connect(b, sw, expresspass.Link(10*expresspass.Gbps, 4*expresspass.Microsecond))
+//	net.BuildRoutes()
+//
+//	flow := expresspass.NewFlow(net, a, b, 10*expresspass.MB, 0)
+//	expresspass.Dial(flow, expresspass.Config{})
+//	eng.Run()
+//	fmt.Println("FCT:", flow.FCT())
+//
+// See examples/ for complete programs and DESIGN.md for the system map.
+package expresspass
+
+import (
+	"io"
+
+	"expresspass/internal/core"
+	"expresspass/internal/experiments"
+	"expresspass/internal/netem"
+	"expresspass/internal/sim"
+	"expresspass/internal/stats"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// Re-exported core types: simulation engine and clock.
+type (
+	// Engine is the deterministic discrete-event simulator.
+	Engine = sim.Engine
+	// Time is a simulation timestamp in picoseconds.
+	Time = sim.Time
+	// Duration is a span of simulated time in picoseconds.
+	Duration = sim.Duration
+	// Rate is a link or flow rate in bits per second.
+	Rate = unit.Rate
+	// Bytes is a size in bytes.
+	Bytes = unit.Bytes
+
+	// Network owns the hosts, switches, and links of a topology.
+	Network = netem.Network
+	// Host is an end system with a credit-capable NIC.
+	Host = netem.Host
+	// Switch forwards packets with symmetric-hash ECMP and per-port
+	// credit rate limiting.
+	Switch = netem.Switch
+	// Port is one egress side of a link.
+	Port = netem.Port
+	// PortConfig configures one link direction.
+	PortConfig = netem.PortConfig
+	// HostDelayConfig models host credit-processing delay.
+	HostDelayConfig = netem.HostDelayConfig
+	// CreditClassConfig defines one credit QoS class at a port (§7
+	// "Multiple traffic classes").
+	CreditClassConfig = netem.CreditClassConfig
+
+	// Flow is one transfer and its measured outcome.
+	Flow = transport.Flow
+	// Config tunes an ExpressPass flow (α, w bounds, target loss, …).
+	Config = core.Config
+	// Session is a dialed ExpressPass flow (sender + receiver side).
+	Session = core.Session
+	// Feedback is the standalone Algorithm 1 rate controller.
+	Feedback = core.Feedback
+
+	// Series records named time series (throughput, queue depth) at a
+	// fixed sampling interval and renders CSV for plotting.
+	Series = stats.Series
+)
+
+// Common units, re-exported for convenience.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+
+	Kbps = unit.Kbps
+	Mbps = unit.Mbps
+	Gbps = unit.Gbps
+
+	KB = unit.KB
+	MB = unit.MB
+	GB = unit.GB
+)
+
+// NewEngine returns a simulator seeded deterministically.
+func NewEngine(seed uint64) *Engine { return sim.New(seed) }
+
+// NewNetwork returns an empty network bound to eng.
+func NewNetwork(eng *Engine) *Network { return netem.NewNetwork(eng) }
+
+// NewFlow allocates a flow of size bytes from a to b starting at t.
+func NewFlow(n *Network, a, b *Host, size Bytes, at Time) *Flow {
+	return transport.NewFlow(n, a, b, size, at)
+}
+
+// Dial attaches ExpressPass endpoints to f and schedules its start.
+func Dial(f *Flow, cfg Config) *Session { return core.Dial(f, cfg) }
+
+// Link returns a PortConfig for a link of the given rate and propagation
+// delay with ExpressPass defaults (8-credit queue, 250-MTU data buffer).
+func Link(rate Rate, delay Duration) PortConfig {
+	return PortConfig{
+		Rate:           rate,
+		Delay:          delay,
+		DataCapacity:   Bytes(384.5 * 1000),
+		CreditQueueCap: 8,
+	}
+}
+
+// SoftNIC returns the software-prototype host delay model (∆d≈5.1 µs).
+func SoftNIC() HostDelayConfig { return netem.SoftNICDelay() }
+
+// HardwareNIC returns the NIC-hardware host delay model (∆d≈1 µs).
+func HardwareNIC() HostDelayConfig { return netem.HardwareNICDelay() }
+
+// NewSeries returns a time-series recorder sampling every interval.
+func NewSeries(interval Duration) *Series { return stats.NewSeries(interval) }
+
+// RateProbe adapts a cumulative byte counter into a Gbps probe for
+// Series: each sample reports the delta since the previous one.
+func RateProbe(interval Duration, counter func() float64) func() float64 {
+	return stats.RateProbe(interval, counter)
+}
+
+// JainIndex returns Jain's fairness index of the given allocations.
+func JainIndex(xs []float64) float64 { return stats.JainIndex(xs) }
+
+// Experiment identifies one reproduced table or figure.
+type Experiment = experiments.Experiment
+
+// ExperimentParams control experiment scale and seeding.
+type ExperimentParams = experiments.Params
+
+// Experiments returns the registered paper reproductions, ordered.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment executes the experiment with the given ID, writing its
+// table(s) to w. Scale 1.0 reproduces the paper-scale configuration.
+func RunExperiment(id string, p ExperimentParams, w io.Writer) error {
+	return experiments.Run(id, p, w)
+}

@@ -1,0 +1,76 @@
+package expresspass_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"expresspass"
+)
+
+// TestQuickstartAPI runs the README quick-start end to end through the
+// public facade.
+func TestQuickstartAPI(t *testing.T) {
+	eng := expresspass.NewEngine(1)
+	net := expresspass.NewNetwork(eng)
+	sw := net.NewSwitch("tor")
+	link := expresspass.Link(10*expresspass.Gbps, 4*expresspass.Microsecond)
+	a := net.NewHost("a", expresspass.HardwareNIC())
+	b := net.NewHost("b", expresspass.HardwareNIC())
+	net.Connect(a, sw, link)
+	net.Connect(b, sw, link)
+	net.BuildRoutes()
+
+	flow := expresspass.NewFlow(net, a, b, 10*expresspass.MB, 0)
+	sess := expresspass.Dial(flow, expresspass.Config{
+		BaseRTT: 20 * expresspass.Microsecond,
+	})
+	eng.Run()
+
+	if !flow.Finished {
+		t.Fatal("flow did not finish")
+	}
+	if flow.BytesDelivered != 10*expresspass.MB {
+		t.Errorf("delivered %v", flow.BytesDelivered)
+	}
+	// 10 MB at ≈9 Gbps goodput → ≈9 ms.
+	if fct := flow.FCT(); fct < 8*expresspass.Millisecond || fct > 15*expresspass.Millisecond {
+		t.Errorf("FCT = %v", fct)
+	}
+	if net.TotalDataDrops() != 0 {
+		t.Error("data drops")
+	}
+	if sess.CreditsSent() == 0 || sess.DataSent() == 0 {
+		t.Error("session counters empty")
+	}
+}
+
+func TestExperimentRegistryViaFacade(t *testing.T) {
+	exps := expresspass.Experiments()
+	if len(exps) < 18 {
+		t.Fatalf("experiments = %d, want ≥ 18", len(exps))
+	}
+	var buf bytes.Buffer
+	err := expresspass.RunExperiment("table1",
+		expresspass.ExperimentParams{Scale: 0.05, Seed: 1}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ToR down") {
+		t.Errorf("table1 output:\n%s", buf.String())
+	}
+}
+
+func TestFeedbackTypeExported(t *testing.T) {
+	// The Algorithm 1 controller is usable standalone.
+	fb := &expresspass.Feedback{
+		MaxRate: 518 * expresspass.Mbps, MinRate: 2 * expresspass.Mbps,
+		TargetLoss: 0.1, WMin: 0.01, WMax: 0.5,
+		Rate: 100 * expresspass.Mbps, W: 0.5,
+	}
+	r0 := fb.Rate
+	fb.Update(0, true)
+	if fb.Rate <= r0 {
+		t.Error("standalone feedback did not increase")
+	}
+}

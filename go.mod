@@ -1,0 +1,3 @@
+module expresspass
+
+go 1.22

@@ -1,0 +1,120 @@
+// Package core implements ExpressPass, the paper's contribution: an
+// end-to-end credit-scheduled congestion control. Receivers pace
+// per-flow credit packets; switches and NICs rate-limit the credit class
+// to ≈5% of each link so the returning data never exceeds capacity; and
+// a per-flow feedback loop (Algorithm 1) adapts the credit sending rate
+// from observed credit loss to recover utilization and fairness in
+// multi-bottleneck networks.
+package core
+
+import (
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// Config tunes one ExpressPass flow. Zero values select the paper's
+// defaults.
+type Config struct {
+	// Alpha is the initial credit rate as a fraction of MaxRate
+	// (α in §3.3 / Fig 18). Default 0.5.
+	Alpha float64
+
+	// WInit is the initial aggressiveness factor w. Default 0.5.
+	WInit float64
+	// WMin is the lower bound on w (§3.2). Default 0.01.
+	WMin float64
+	// WMax is the upper bound on w. Default 0.5.
+	WMax float64
+
+	// TargetLoss is the credit loss rate the feedback loop aims for
+	// (§3.3). Default 0.1.
+	TargetLoss float64
+
+	// BaseRTT is the network round-trip estimate used to mature credit
+	// loss samples; the update period defaults to it. Default 100 µs.
+	BaseRTT sim.Duration
+	// Period is the feedback update interval. Default BaseRTT.
+	Period sim.Duration
+
+	// JitterFrac is the random jitter applied to inter-credit gaps,
+	// relative to the gap (j in Fig 6a). Default 0.02.
+	JitterFrac float64
+
+	// RandomizeCreditSize varies credit frames between 84 and 92 B to
+	// de-synchronize credit drops across switches (§3.1). Default on;
+	// set DisableCreditSizeRandomization to turn it off.
+	DisableCreditSizeRandomization bool
+
+	// MaxRate caps the per-flow credit sending rate in credit-wire
+	// bits/s. Default: NIC line rate × unit.CreditRatio.
+	MaxRate unit.Rate
+	// MinRate floors the credit sending rate. Default MaxRate/256,
+	// roughly one credit per few update periods — low enough for
+	// thousands of flows to share a link, high enough that a flow never
+	// burrows so deep into the sub-credit-per-RTT regime that it takes
+	// tens of periods to surface again.
+	MinRate unit.Rate
+
+	// Naive disables the feedback loop entirely: credits flow at
+	// MaxRate, relying on switch rate-limiting alone (§2's naïve
+	// scheme, the no-feedback arm of Figs 10/11).
+	Naive bool
+
+	// StopTimeout is how long the sender waits with nothing left to
+	// send before emitting CREDIT_STOP. Default: immediately after the
+	// last data packet is credited (0).
+	StopTimeout sim.Duration
+
+	// StopMargin enables the §7 preemptive credit stop: the sender
+	// emits CREDIT_STOP once the bytes still awaiting credits drop to
+	// this margin, trading a risk of under-crediting (recovered by a
+	// CREDIT_REQUEST retry one timeout later) for roughly one RTT less
+	// credit waste per flow. Zero disables.
+	StopMargin unit.Bytes
+
+	// Class tags this flow's credit packets with a switch credit class
+	// (§7 "Multiple traffic classes"); meaningful only on ports
+	// configured with netem.CreditClassConfig.
+	Class uint8
+}
+
+func (c Config) withDefaults(lineRate unit.Rate) Config {
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+		if c.Naive {
+			// The naïve scheme of §2 sends credits as fast as possible.
+			c.Alpha = 1
+		}
+	}
+	if c.WInit == 0 {
+		c.WInit = 0.5
+	}
+	if c.WMin == 0 {
+		c.WMin = 0.01
+	}
+	if c.WMax == 0 {
+		c.WMax = 0.5
+	}
+	if c.TargetLoss == 0 {
+		c.TargetLoss = 0.1
+	}
+	if c.BaseRTT == 0 {
+		c.BaseRTT = 100 * sim.Microsecond
+	}
+	if c.Period == 0 {
+		c.Period = c.BaseRTT
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.02
+	}
+	if c.MaxRate == 0 {
+		c.MaxRate = lineRate.Scale(unit.CreditRatio)
+	}
+	if c.MinRate == 0 {
+		c.MinRate = c.MaxRate / 256
+		if c.MinRate < 1 {
+			c.MinRate = 1
+		}
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+package core
+
+import "expresspass/internal/unit"
+
+// Feedback is the per-flow credit feedback controller of Algorithm 1.
+// It is a pure state machine over (credit loss → next credit rate), kept
+// separate from the packet plumbing so its convergence and stability
+// properties can be tested and analyzed directly (§4).
+type Feedback struct {
+	MaxRate    unit.Rate
+	MinRate    unit.Rate
+	TargetLoss float64
+	WMin       float64
+	WMax       float64
+
+	Rate unit.Rate // current credit sending rate
+	W    float64   // aggressiveness factor
+
+	prevIncreasing bool
+}
+
+// LastDecreased reports whether the most recent Update took the
+// decreasing branch (used by the receiver to gate loss accounting to
+// post-decrease credits — at most one rate cut per congestion event).
+func (f *Feedback) LastDecreased() bool { return !f.prevIncreasing }
+
+// NewFeedback returns a controller initialized per cfg for the given
+// line-derived max credit rate.
+func NewFeedback(cfg Config) *Feedback {
+	f := &Feedback{
+		MaxRate:    cfg.MaxRate,
+		MinRate:    cfg.MinRate,
+		TargetLoss: cfg.TargetLoss,
+		WMin:       cfg.WMin,
+		WMax:       cfg.WMax,
+		W:          cfg.WInit,
+		Rate:       unit.Rate(float64(cfg.MaxRate) * cfg.Alpha),
+	}
+	f.clamp()
+	return f
+}
+
+// Update runs one iteration of Algorithm 1 given the measured credit
+// loss over the last matured update period. fresh reports whether the
+// previous update period also produced a sample: the aggressiveness
+// factor w only compounds across *consecutive* increasing periods
+// (Algorithm 1 line 7); a flow so slow that periods pass without any
+// credit echo must not chain w-doubling across those gaps, or
+// sub-credit-per-RTT flows rocket from w_min to w_max on two sparse
+// samples and destabilize the whole link.
+func (f *Feedback) Update(creditLoss float64, fresh bool) unit.Rate {
+	if creditLoss <= f.TargetLoss {
+		// Increasing phase.
+		if f.prevIncreasing && fresh {
+			f.W = (f.W + f.WMax) / 2
+		}
+		f.Rate = unit.Rate((1-f.W)*float64(f.Rate) +
+			f.W*float64(f.MaxRate)*(1+f.TargetLoss))
+		f.prevIncreasing = true
+	} else {
+		// Decreasing phase.
+		f.Rate = unit.Rate(float64(f.Rate) * (1 - creditLoss) * (1 + f.TargetLoss))
+		f.W = f.W / 2
+		if f.W < f.WMin {
+			f.W = f.WMin
+		}
+		f.prevIncreasing = false
+	}
+	f.clamp()
+	return f.Rate
+}
+
+func (f *Feedback) clamp() {
+	// The increase phase may overshoot MaxRate by up to TargetLoss —
+	// that overshoot is intentional (§3.2): it lets a flow discover
+	// freed-up bandwidth instantly at the cost of a small credit loss.
+	hi := unit.Rate(float64(f.MaxRate) * (1 + f.TargetLoss))
+	if f.Rate > hi {
+		f.Rate = hi
+	}
+	if f.Rate < f.MinRate {
+		f.Rate = f.MinRate
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+func testFeedback(alpha float64) *Feedback {
+	cfg := Config{Alpha: alpha}.withDefaults(10 * unit.Gbps)
+	return NewFeedback(cfg)
+}
+
+func TestFeedbackInitialRate(t *testing.T) {
+	fb := testFeedback(0.25)
+	max := (10 * unit.Gbps).Scale(unit.CreditRatio)
+	want := unit.Rate(float64(max) * 0.25)
+	if diff := float64(fb.Rate-want) / float64(want); math.Abs(diff) > 0.01 {
+		t.Errorf("initial rate %v, want %v", fb.Rate, want)
+	}
+}
+
+func TestFeedbackIncreasePhase(t *testing.T) {
+	fb := NewFeedback(Config{Alpha: 0.25, WInit: 0.1}.withDefaults(10 * unit.Gbps))
+	r0 := fb.Rate
+	fb.Update(0, true) // no loss → increase
+	if fb.Rate <= r0 {
+		t.Errorf("rate did not increase: %v → %v", r0, fb.Rate)
+	}
+	// Consecutive zero-loss updates double w toward 0.5.
+	w1 := fb.W
+	fb.Update(0, true)
+	if fb.W <= w1 {
+		t.Errorf("w did not grow on consecutive increase: %v → %v", w1, fb.W)
+	}
+	if fb.W > fb.WMax {
+		t.Errorf("w exceeded wMax: %v", fb.W)
+	}
+}
+
+func TestFeedbackNoWGrowthAfterStaleSample(t *testing.T) {
+	fb := testFeedback(0.25)
+	fb.Update(0, true)
+	w := fb.W
+	// A sparse flow whose previous period had no sample must not chain
+	// the doubling.
+	fb.Update(0, false)
+	if fb.W != w {
+		t.Errorf("w grew across a no-sample gap: %v → %v", w, fb.W)
+	}
+}
+
+func TestFeedbackDecreasePhase(t *testing.T) {
+	fb := testFeedback(1)
+	r0 := fb.Rate
+	fb.Update(0.5, true) // heavy loss
+	// rate ← rate·(1−loss)·(1+target) = r0·0.5·1.1.
+	want := unit.Rate(float64(r0) * 0.5 * 1.1)
+	if diff := math.Abs(float64(fb.Rate-want)) / float64(want); diff > 0.01 {
+		t.Errorf("decrease: %v → %v, want %v", r0, fb.Rate, want)
+	}
+	if !fb.LastDecreased() {
+		t.Error("LastDecreased false after decrease")
+	}
+	// w halves on decrease, floored at wMin.
+	if fb.W != 0.25 {
+		t.Errorf("w = %v, want 0.25", fb.W)
+	}
+	for i := 0; i < 20; i++ {
+		fb.Update(0.5, true)
+	}
+	if fb.W != fb.WMin {
+		t.Errorf("w floor = %v, want wMin %v", fb.W, fb.WMin)
+	}
+}
+
+func TestFeedbackTargetLossBoundary(t *testing.T) {
+	fb := testFeedback(0.5)
+	fb.Update(fb.TargetLoss, true) // exactly target → still increase
+	if fb.LastDecreased() {
+		t.Error("loss == target must take the increasing branch")
+	}
+	fb.Update(fb.TargetLoss+0.001, true)
+	if !fb.LastDecreased() {
+		t.Error("loss just above target must decrease")
+	}
+}
+
+func TestFeedbackRateClamps(t *testing.T) {
+	fb := testFeedback(1)
+	hi := unit.Rate(float64(fb.MaxRate) * (1 + fb.TargetLoss))
+	for i := 0; i < 50; i++ {
+		fb.Update(0, true)
+		if fb.Rate > hi {
+			t.Fatalf("rate %v exceeded overshoot cap %v", fb.Rate, hi)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		fb.Update(1, true)
+		if fb.Rate < fb.MinRate {
+			t.Fatalf("rate %v fell below floor %v", fb.Rate, fb.MinRate)
+		}
+	}
+}
+
+// TestFeedbackConvergesToFairShare reproduces the §4 discrete stability
+// model: N synchronized controllers share a link of capacity C; each
+// period the loss is the fluid (ΣR−C)/ΣR for every flow. Rates must
+// converge to C/N (Eq 5) regardless of initial rates, and the steady
+// oscillation must match D* = C·w_min·(1−1/N) (§4).
+func TestFeedbackConvergesToFairShare(t *testing.T) {
+	for _, n := range []int{2, 4, 10, 32} {
+		cfg := Config{}.withDefaults(10 * unit.Gbps)
+		capacity := float64(cfg.MaxRate) * (1 + cfg.TargetLoss) // C in §4
+
+		fbs := make([]*Feedback, n)
+		rng := sim.NewRand(uint64(n))
+		for i := range fbs {
+			fbs[i] = NewFeedback(Config{Alpha: rng.Float64()*0.9 + 0.05}.
+				withDefaults(10 * unit.Gbps))
+		}
+		step := func() {
+			var sum float64
+			for _, fb := range fbs {
+				sum += float64(fb.Rate)
+			}
+			loss := 0.0
+			if sum > capacity {
+				loss = (sum - capacity) / sum
+			}
+			for _, fb := range fbs {
+				fb.Update(loss, true)
+			}
+		}
+		for i := 0; i < 3000; i++ {
+			step()
+		}
+		fair := capacity / float64(n)
+		// In steady state the synchronized system rides a small limit
+		// cycle (double-increases occur because the post-decrease loss
+		// sits marginally below target at w_min — visible in Fig 12).
+		// Assert the two §4 takeaways that survive discretization:
+		// every flow's *time-average* rate equals the fair share, and
+		// instantaneous rates stay within a bounded band around it.
+		avg := make([]float64, n)
+		const rounds = 2000
+		var worst float64
+		for k := 0; k < rounds; k++ {
+			step()
+			for i, fb := range fbs {
+				avg[i] += float64(fb.Rate)
+				dev := math.Abs(float64(fb.Rate)-fair) / fair
+				if dev > worst {
+					worst = dev
+				}
+			}
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range avg {
+			avg[i] /= rounds
+			lo = math.Min(lo, avg[i])
+			hi = math.Max(hi, avg[i])
+			// Sending-rate averages sit a little above C/N by design:
+			// the target-loss overshoot keeps the bottleneck credit
+			// queue occupied. Eq 6 bounds the odd-period rates at
+			// (1+(N−1)w_min)·C/N, so averages stay within ~1.4× fair.
+			if avg[i] < fair*0.95 || avg[i] > fair*1.45 {
+				t.Errorf("n=%d flow %d: time-average %.3g outside [0.95,1.45]×fair %.3g",
+					n, i, avg[i], fair)
+			}
+		}
+		// Fairness: all flows' time-averages must coincide.
+		if hi/lo > 1.02 {
+			t.Errorf("n=%d: flow averages diverge: min %.4g max %.4g", n, lo, hi)
+		}
+		if worst > 0.75 {
+			t.Errorf("n=%d: unbounded oscillation, worst deviation %.2f", n, worst)
+		}
+	}
+}
+
+// Property: rates stay within [MinRate, MaxRate·(1+target)] for any loss
+// sequence.
+func TestFeedbackBoundsProperty(t *testing.T) {
+	f := func(losses []float64, alpha float64) bool {
+		a := math.Abs(alpha)
+		a = a - math.Floor(a)
+		if a == 0 {
+			a = 0.5
+		}
+		fb := testFeedback(a)
+		hi := unit.Rate(float64(fb.MaxRate) * (1 + fb.TargetLoss))
+		for i, l := range losses {
+			l = math.Abs(l)
+			l = l - math.Floor(l)
+			fb.Update(l, i%2 == 0)
+			if fb.Rate < fb.MinRate || fb.Rate > hi {
+				return false
+			}
+			if fb.W < fb.WMin || fb.W > fb.WMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults(10 * unit.Gbps)
+	if c.Alpha != 0.5 || c.WInit != 0.5 || c.WMin != 0.01 || c.TargetLoss != 0.1 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if c.BaseRTT != 100*sim.Microsecond || c.Period != c.BaseRTT {
+		t.Errorf("timing defaults: %+v", c)
+	}
+	want := (10 * unit.Gbps).Scale(unit.CreditRatio)
+	if c.MaxRate != want {
+		t.Errorf("MaxRate = %v, want %v", c.MaxRate, want)
+	}
+	if c.MinRate != want/256 {
+		t.Errorf("MinRate = %v", c.MinRate)
+	}
+	naive := Config{Naive: true}.withDefaults(10 * unit.Gbps)
+	if naive.Alpha != 1 {
+		t.Errorf("naive default alpha = %v, want 1 (max rate)", naive.Alpha)
+	}
+}

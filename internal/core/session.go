@@ -1,0 +1,392 @@
+package core
+
+import (
+	"expresspass/internal/netem"
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// Session is one ExpressPass flow: a credit-requesting sender endpoint
+// at Flow.Sender and a credit-pacing receiver endpoint at Flow.Receiver.
+type Session struct {
+	Flow *transport.Flow
+	Cfg  Config
+
+	snd *sender
+	rcv *receiver
+}
+
+// Dial wires a session for f and schedules its start at f.StartAt. The
+// credit request is piggybacked on connection setup (§3.1), so credits
+// begin flowing one half-RTT after the flow arrives.
+func Dial(f *transport.Flow, cfg Config) *Session {
+	cfg = cfg.withDefaults(f.Receiver.LineRate())
+	s := &Session{Flow: f, Cfg: cfg}
+	eng := f.Sender.Engine()
+	s.snd = &sender{sess: s, host: f.Sender, eng: eng}
+	s.rcv = &receiver{sess: s, host: f.Receiver, eng: eng, rng: f.Receiver.Rand().Fork()}
+	s.rcv.fb = NewFeedback(cfg)
+	f.Sender.Register(f.ID, s.snd)
+	f.Receiver.Register(f.ID, s.rcv)
+	eng.At(f.StartAt, s.snd.start)
+	return s
+}
+
+// Stop tears the session down and unregisters both endpoints.
+func (s *Session) Stop() {
+	s.rcv.stopCredits()
+	s.snd.reqTimer.Cancel()
+	s.snd.stopRetry.Cancel()
+	s.snd.stopTimer.Cancel()
+	s.snd.idleTimer.Cancel()
+	s.snd.gotCredit = true // suppress request retries
+	s.Flow.Sender.Unregister(s.Flow.ID)
+	s.Flow.Receiver.Unregister(s.Flow.ID)
+}
+
+// CreditsSent returns credits emitted by the receiver.
+func (s *Session) CreditsSent() uint64 { return s.rcv.creditsSent }
+
+// CreditsReceived returns credits that reached the sender.
+func (s *Session) CreditsReceived() uint64 { return s.snd.creditsIn }
+
+// CreditsWasted returns credits that reached the sender after it had no
+// data left (the waste metric of Fig 20).
+func (s *Session) CreditsWasted() uint64 { return s.snd.creditsWasted }
+
+// DataSent returns data packets emitted by the sender.
+func (s *Session) DataSent() uint64 { return s.snd.dataSent }
+
+// Rate returns the receiver's current credit sending rate.
+func (s *Session) Rate() unit.Rate { return s.rcv.fb.Rate }
+
+// W returns the receiver's current aggressiveness factor.
+func (s *Session) W() float64 { return s.rcv.fb.W }
+
+// ---- sender ----
+
+type sender struct {
+	sess *Session
+	host *netem.Host
+	eng  *sim.Engine
+
+	remaining unit.Bytes // bytes not yet credited for transmission
+	unbounded bool       // long-running flow (Size == 0)
+	lastEmit  sim.Time   // data responses stay in credit order (FIFO NIC)
+
+	// Fig 7a retry arcs: CREDIT_REQUEST is retransmitted until credits
+	// arrive, and CREDIT_STOP until the credit flow actually stops —
+	// both control packets ride the data class and can be dropped.
+	gotCredit bool
+	reqTimer  sim.EventID
+	stopRetry sim.EventID
+	idleTimer sim.EventID
+
+	// Credit-arrival rate estimate for the preemptive stop: credits
+	// seen in the previous full BaseRTT window bound how much data the
+	// in-flight credits can still cover.
+	winStart  sim.Time
+	winCount  int
+	prevWin   int
+	sentAll   bool
+	stopSent  bool
+	stopTimer sim.EventID
+
+	creditsIn     uint64
+	creditsWasted uint64
+	dataSent      uint64
+}
+
+func (sn *sender) start() {
+	f := sn.sess.Flow
+	f.Started = true
+	sn.remaining = f.Size
+	sn.unbounded = f.Size == 0
+	sn.sendRequest()
+}
+
+// sendRequest emits CREDIT_REQUEST and arms the Fig 7a retry timeout
+// (CREQ_SENT --no credit for timeout--> resend CREDIT_REQUEST).
+func (sn *sender) sendRequest() {
+	if sn.gotCredit {
+		return
+	}
+	f := sn.sess.Flow
+	req := packet.Get()
+	req.Kind = packet.Ctrl
+	req.Ctrl = packet.CtrlCreditRequest
+	req.Flow = f.ID
+	req.Src = f.Sender.ID()
+	req.Dst = f.Receiver.ID()
+	req.Wire = unit.MinFrame
+	sn.host.Send(req)
+	sn.reqTimer = sn.eng.After(4*sn.sess.Cfg.BaseRTT, sn.sendRequest)
+}
+
+// OnPacket handles credits arriving at the sender.
+func (sn *sender) OnPacket(p *packet.Packet) {
+	if p.Kind != packet.Credit {
+		packet.Put(p)
+		return
+	}
+	sn.creditsIn++
+	sn.gotCredit = true
+	sn.reqTimer.Cancel()
+	if now := sn.eng.Now(); now-sn.winStart > sn.sess.Cfg.BaseRTT {
+		sn.prevWin = sn.winCount
+		sn.winCount = 0
+		sn.winStart = now
+	}
+	sn.winCount++
+	creditSeq := p.Seq
+	packet.Put(p)
+
+	if !sn.unbounded && sn.remaining <= 0 {
+		sn.creditsWasted++
+		sn.maybeStop()
+		return
+	}
+	payload := unit.MTUPayload
+	if !sn.unbounded && sn.remaining < payload {
+		payload = sn.remaining
+	}
+	if !sn.unbounded {
+		sn.remaining -= payload
+	}
+	// Credit processing delay: the spread of this delay is the ∆d_host
+	// of §3.1's network-calculus bound. Responses are serialized so data
+	// packets leave in credit order, as a FIFO NIC pipeline would.
+	at := sn.eng.Now() + sn.host.SampleProcDelay()
+	if at <= sn.lastEmit {
+		at = sn.lastEmit + 1
+	}
+	sn.lastEmit = at
+	sn.eng.At(at, func() { sn.emitData(payload, creditSeq) })
+	if !sn.unbounded && sn.remaining <= 0 {
+		sn.sentAll = true
+		sn.maybeStop()
+	} else if m := sn.sess.Cfg.StopMargin; m > 0 && !sn.unbounded {
+		// §7 preemptive stop: stop once the credits plausibly already
+		// in flight (≈ one RTT's worth at the observed arrival rate,
+		// bounded by the configured margin) cover what remains. If the
+		// estimate is wrong the idle watchdog re-requests.
+		inflight := unit.Bytes(sn.prevWin) * unit.MTUPayload
+		if inflight > m {
+			inflight = m
+		}
+		if sn.remaining <= inflight {
+			sn.maybeStop()
+		}
+	}
+	sn.armIdleWatchdog()
+}
+
+// armIdleWatchdog re-requests credits if data remains unsent but no
+// credit has arrived for several RTTs (Fig 7a: "New data /
+// CREDIT_REQUEST" out of CSTOP_SENT, and timeout-driven re-request).
+func (sn *sender) armIdleWatchdog() {
+	sn.idleTimer.Cancel()
+	if sn.unbounded || sn.remaining <= 0 {
+		return
+	}
+	sn.idleTimer = sn.eng.After(8*sn.sess.Cfg.BaseRTT, func() {
+		if sn.remaining > 0 {
+			sn.stopSent = false
+			sn.gotCredit = false
+			sn.sendRequest()
+		}
+	})
+}
+
+func (sn *sender) emitData(payload unit.Bytes, creditSeq int64) {
+	f := sn.sess.Flow
+	d := packet.Get()
+	d.Kind = packet.Data
+	d.Flow = f.ID
+	d.Src = f.Sender.ID()
+	d.Dst = f.Receiver.ID()
+	d.Payload = payload
+	d.Wire = payload + (unit.MaxFrame - unit.MTUPayload)
+	if d.Wire < unit.MinFrame {
+		d.Wire = unit.MinFrame
+	}
+	d.CreditSeq = creditSeq
+	sn.dataSent++
+	sn.host.Send(d)
+}
+
+// maybeStop schedules/sends CREDIT_STOP once nothing is left to send.
+func (sn *sender) maybeStop() {
+	if sn.stopSent || sn.stopTimer.Pending() {
+		return
+	}
+	if sn.sess.Cfg.StopTimeout > 0 {
+		sn.stopTimer = sn.eng.After(sn.sess.Cfg.StopTimeout, sn.sendStop)
+		return
+	}
+	sn.sendStop()
+}
+
+func (sn *sender) sendStop() {
+	sn.stopSent = true
+	f := sn.sess.Flow
+	st := packet.Get()
+	st.Kind = packet.Ctrl
+	st.Ctrl = packet.CtrlCreditStop
+	st.Flow = f.ID
+	st.Src = f.Sender.ID()
+	st.Dst = f.Receiver.ID()
+	st.Wire = unit.MinFrame
+	sn.host.Send(st)
+	// Fig 7a CSTOP_SENT: if credits keep arriving (the stop was lost),
+	// resend. The retry re-arms from maybeStop on the next stray credit.
+	sn.stopRetry = sn.eng.After(4*sn.sess.Cfg.BaseRTT, func() {
+		sn.stopSent = false
+	})
+}
+
+// ---- receiver ----
+
+type receiver struct {
+	sess *Session
+	host *netem.Host
+	eng  *sim.Engine
+	rng  *sim.Rand
+	fb   *Feedback
+
+	active      bool
+	creditTimer sim.EventID
+	tickTimer   sim.EventID
+
+	nextSeq     int64 // next credit sequence to assign (first = 1)
+	creditsSent uint64
+
+	// Credit-loss accounting (§3.2): data packets echo the credit
+	// sequence they consumed; a gap between consecutive echoes means
+	// the intervening credits were dropped. Gap accounting needs no
+	// maturity bookkeeping and is insensitive to path delay.
+	//
+	// gateSeq implements one-cut-per-congestion-event: after a rate
+	// decrease, credits already in flight (seq ≤ gateSeq) still carry
+	// the old rate's congestion, so their losses must not trigger a
+	// second decrease. Only echoes of post-decrease credits count.
+	lastEcho      int64
+	gateSeq       int64
+	delivered     uint64 // counted echoes this period (seq > gateSeq)
+	lost          uint64 // counted gap-inferred drops this period
+	prevHadSample bool   // previous period produced a feedback sample
+}
+
+// OnPacket handles control and data packets arriving at the receiver.
+func (rc *receiver) OnPacket(p *packet.Packet) {
+	switch {
+	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlCreditRequest:
+		packet.Put(p)
+		rc.startCredits()
+	case p.Kind == packet.Ctrl && (p.Ctrl == packet.CtrlCreditStop || p.Ctrl == packet.CtrlFin):
+		packet.Put(p)
+		rc.stopCredits()
+	case p.Kind == packet.Data:
+		rc.onData(p)
+	default:
+		packet.Put(p)
+	}
+}
+
+func (rc *receiver) startCredits() {
+	if rc.active {
+		return
+	}
+	rc.active = true
+	rc.lastEcho = rc.nextSeq
+	rc.sendCredit()
+	rc.tickTimer = rc.eng.After(rc.sess.Cfg.Period, rc.tick)
+}
+
+func (rc *receiver) stopCredits() {
+	rc.active = false
+	rc.creditTimer.Cancel()
+	rc.tickTimer.Cancel()
+}
+
+// sendCredit emits one credit and schedules the next per the current
+// rate, with jitter (Fig 6a) and randomized size (§3.1).
+func (rc *receiver) sendCredit() {
+	if !rc.active {
+		return
+	}
+	f := rc.sess.Flow
+	c := packet.Get()
+	c.Kind = packet.Credit
+	c.Class = rc.sess.Cfg.Class
+	c.Flow = f.ID
+	c.Src = f.Receiver.ID()
+	c.Dst = f.Sender.ID()
+	rc.nextSeq++
+	c.Seq = rc.nextSeq
+	size := unit.MinFrame
+	if !rc.sess.Cfg.DisableCreditSizeRandomization {
+		size += unit.Bytes(rc.rng.Intn(9)) // 84–92 B
+	}
+	c.Wire = size
+	rc.creditsSent++
+	rc.host.Send(c)
+
+	// Pace by nominal credit size so size randomization doesn't lower
+	// the effective credit packet rate (each credit authorizes one MTU).
+	gap := unit.TxTime(unit.MinFrame, rc.fb.Rate)
+	gap = rc.rng.Jitter(gap, rc.sess.Cfg.JitterFrac)
+	if gap < 1 {
+		gap = 1
+	}
+	rc.creditTimer = rc.eng.After(gap, rc.sendCredit)
+}
+
+// onData accounts delivered bytes and updates the echo-gap loss counts.
+func (rc *receiver) onData(p *packet.Packet) {
+	now := rc.eng.Now()
+	rc.sess.Flow.Deliver(now, p.Payload)
+	seq := p.CreditSeq
+	packet.Put(p)
+
+	if seq > rc.gateSeq {
+		rc.delivered++
+	}
+	if seq > rc.lastEcho {
+		lo := rc.lastEcho
+		if rc.gateSeq > lo {
+			lo = rc.gateSeq
+		}
+		if seq-1 > lo {
+			rc.lost += uint64(seq - 1 - lo)
+		}
+		rc.lastEcho = seq
+	} else if seq > rc.gateSeq && rc.lost > 0 {
+		// A "hole" filled in late: the credit wasn't dropped, its data
+		// was merely reordered (possible under packet spraying, §7).
+		rc.lost--
+	}
+}
+
+// tick runs Algorithm 1 once per update period over the gap-inferred
+// credit loss of that period.
+func (rc *receiver) tick() {
+	if !rc.active {
+		return
+	}
+	cfg := rc.sess.Cfg
+	if n := rc.delivered + rc.lost; n > 0 && !cfg.Naive {
+		rc.fb.Update(float64(rc.lost)/float64(n), rc.prevHadSample)
+		if rc.fb.LastDecreased() {
+			// In-flight credits predate the cut; don't double-count.
+			rc.gateSeq = rc.nextSeq
+		}
+		rc.prevHadSample = true
+	} else {
+		rc.prevHadSample = false
+	}
+	rc.delivered, rc.lost = 0, 0
+	rc.tickTimer = rc.eng.After(cfg.Period, rc.tick)
+}

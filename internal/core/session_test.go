@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"testing"
+
+	"expresspass/internal/core"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+func dumbbell(seed uint64, n int) (*sim.Engine, *topology.Dumbbell) {
+	eng := sim.New(seed)
+	d := topology.NewDumbbell(eng, n, topology.Config{LinkRate: 10 * unit.Gbps})
+	return eng, d
+}
+
+func TestSessionSingleFlowFCT(t *testing.T) {
+	eng, d := dumbbell(1, 2)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 1*unit.MB, 0)
+	sess := core.Dial(f, core.Config{BaseRTT: 30 * sim.Microsecond})
+	eng.RunUntil(1 * sim.Second)
+	if !f.Finished {
+		t.Fatal("flow did not finish")
+	}
+	// 1 MB at ~9 Gbps goodput plus ~1.5 RTT setup: ~1 ms.
+	if fct := f.FCT(); fct < 800*sim.Microsecond || fct > 5*sim.Millisecond {
+		t.Errorf("FCT = %v, implausible", fct)
+	}
+	if sess.DataSent() == 0 || sess.CreditsSent() < sess.DataSent() {
+		t.Errorf("credits sent %d < data %d", sess.CreditsSent(), sess.DataSent())
+	}
+	if d.Net.TotalDataDrops() != 0 {
+		t.Error("data drops with a single flow")
+	}
+}
+
+// TestZeroDataLossInvariant is the paper's headline property: across a
+// heavily-overloaded incast with hundreds of flows, ExpressPass must not
+// drop a single data packet.
+func TestZeroDataLossInvariant(t *testing.T) {
+	eng := sim.New(2)
+	st := topology.NewStar(eng, 17, topology.Config{LinkRate: 10 * unit.Gbps})
+	cfg := core.Config{BaseRTT: 30 * sim.Microsecond}
+	var flows []*transport.Flow
+	for round := 0; round < 4; round++ {
+		for i := 1; i <= 16; i++ {
+			f := transport.NewFlow(st.Net, st.Hosts[i], st.Hosts[0],
+				256*unit.KB, sim.Duration(round)*2*sim.Millisecond)
+			core.Dial(f, cfg)
+			flows = append(flows, f)
+		}
+	}
+	eng.RunUntil(1 * sim.Second)
+	if drops := st.Net.TotalDataDrops(); drops != 0 {
+		t.Errorf("data drops = %d, want 0", drops)
+	}
+	for i, f := range flows {
+		if !f.Finished {
+			t.Errorf("flow %d unfinished", i)
+		}
+	}
+	if st.Net.TotalCreditDrops() == 0 {
+		t.Error("no credit drops — incast was not contended")
+	}
+}
+
+func TestCreditStopEndsCredits(t *testing.T) {
+	eng, d := dumbbell(3, 2)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 100*unit.KB, 0)
+	sess := core.Dial(f, core.Config{BaseRTT: 30 * sim.Microsecond})
+	eng.RunUntil(20 * sim.Millisecond)
+	if !f.Finished {
+		t.Fatal("flow did not finish")
+	}
+	sent := sess.CreditsSent()
+	eng.RunUntil(100 * sim.Millisecond)
+	if sess.CreditsSent() != sent {
+		t.Errorf("receiver kept sending credits after CREDIT_STOP: %d → %d",
+			sent, sess.CreditsSent())
+	}
+}
+
+func TestSinglePacketFlowWaste(t *testing.T) {
+	// A 1-packet flow at α=1 wastes ≈ one RTT of credits (Fig 8b).
+	eng := sim.New(4)
+	d := topology.NewDumbbell(eng, 2, topology.Config{
+		LinkRate:  10 * unit.Gbps,
+		LinkDelay: 16 * sim.Microsecond, // RTT ≈ 100 µs
+	})
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 1000, 0)
+	sess := core.Dial(f, core.Config{BaseRTT: 100 * sim.Microsecond, Alpha: 1})
+	eng.RunUntil(100 * sim.Millisecond)
+	if !f.Finished {
+		t.Fatal("flow did not finish")
+	}
+	w := sess.CreditsWasted()
+	// ≈ max credit rate (770 kpps) × 100 µs ≈ 77 credits.
+	if w < 40 || w > 120 {
+		t.Errorf("wasted credits = %d, want ≈77", w)
+	}
+	if sess.DataSent() != 1 {
+		t.Errorf("data packets = %d, want 1", sess.DataSent())
+	}
+}
+
+func TestLowAlphaReducesWaste(t *testing.T) {
+	waste := func(alpha float64) uint64 {
+		eng := sim.New(5)
+		d := topology.NewDumbbell(eng, 2, topology.Config{
+			LinkRate: 10 * unit.Gbps, LinkDelay: 16 * sim.Microsecond,
+		})
+		f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 1000, 0)
+		sess := core.Dial(f, core.Config{BaseRTT: 100 * sim.Microsecond, Alpha: alpha})
+		eng.RunUntil(100 * sim.Millisecond)
+		return sess.CreditsWasted()
+	}
+	hi, lo := waste(1), waste(1.0/32)
+	if lo >= hi {
+		t.Errorf("α=1/32 waste %d not below α=1 waste %d", lo, hi)
+	}
+	if lo > 6 {
+		t.Errorf("α=1/32 waste %d, want ≈2", lo)
+	}
+}
+
+func TestNaiveModeSendsAtMaxRate(t *testing.T) {
+	eng, d := dumbbell(6, 2)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 0, 0)
+	sess := core.Dial(f, core.Config{BaseRTT: 30 * sim.Microsecond, Naive: true})
+	eng.RunUntil(10 * sim.Millisecond)
+	max := (10 * unit.Gbps).Scale(unit.CreditRatio)
+	if sess.Rate() != max {
+		t.Errorf("naive rate = %v, want max %v", sess.Rate(), max)
+	}
+	// And the flow saturates the link.
+	goodput := float64(f.BytesDelivered) * 8 / 0.01
+	if goodput < 8.5e9 {
+		t.Errorf("naive goodput %.3g bps", goodput)
+	}
+}
+
+func TestTwoFlowsFairAndEfficient(t *testing.T) {
+	eng, d := dumbbell(7, 2)
+	cfg := core.Config{BaseRTT: 100 * sim.Microsecond}
+	f0 := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 0, 0)
+	core.Dial(f0, cfg)
+	f1 := transport.NewFlow(d.Net, d.Senders[1], d.Receivers[1], 0, 0)
+	core.Dial(f1, cfg)
+	eng.RunUntil(20 * sim.Millisecond)
+	f0.TakeDeliveredDelta()
+	f1.TakeDeliveredDelta()
+	eng.RunFor(50 * sim.Millisecond)
+	r0 := float64(f0.TakeDeliveredDelta()) * 8 / 0.05 / 1e9
+	r1 := float64(f1.TakeDeliveredDelta()) * 8 / 0.05 / 1e9
+	if r0+r1 < 8.2 {
+		t.Errorf("aggregate %.2f Gbps, want > 8.2", r0+r1)
+	}
+	ratio := r0 / r1
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unfair split: %.2f vs %.2f Gbps", r0, r1)
+	}
+	if d.Net.TotalDataDrops() != 0 {
+		t.Error("data drops")
+	}
+}
+
+func TestBoundedQueueUnderIncast(t *testing.T) {
+	eng := sim.New(8)
+	st := topology.NewStar(eng, 33, topology.Config{LinkRate: 10 * unit.Gbps})
+	cfg := core.Config{BaseRTT: 30 * sim.Microsecond}
+	for i := 1; i <= 32; i++ {
+		f := transport.NewFlow(st.Net, st.Hosts[i], st.Hosts[0], 0, 0)
+		core.Dial(f, cfg)
+	}
+	eng.RunUntil(50 * sim.Millisecond)
+	maxQ := st.DownPort(0).DataStats().MaxBytes
+	// The paper's ns-2 max is ~1.3 KB; allow a loose 20 KB bound (the
+	// delay-spread bound for this tiny topology).
+	if maxQ > 20*unit.KB {
+		t.Errorf("incast max data queue %v, want bounded ≲ 20KB", maxQ)
+	}
+}
+
+func TestSessionStopCleansUp(t *testing.T) {
+	eng, d := dumbbell(9, 2)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 0, 0)
+	sess := core.Dial(f, core.Config{BaseRTT: 30 * sim.Microsecond})
+	eng.RunUntil(5 * sim.Millisecond)
+	sess.Stop()
+	delivered := f.BytesDelivered
+	eng.RunUntil(10 * sim.Millisecond)
+	if f.BytesDelivered != delivered {
+		t.Error("delivery continued after Stop")
+	}
+}

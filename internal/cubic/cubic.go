@@ -1,0 +1,100 @@
+// Package cubic implements TCP CUBIC (Ha, Rhee, Xu 2008): a loss-based
+// controller whose window grows as a cubic function of time since the
+// last loss event. It is the kernel-default baseline of the paper's
+// Fig 2 convergence comparison.
+package cubic
+
+import (
+	"math"
+
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// Config tunes CUBIC.
+type Config struct {
+	C    float64 // cubic scaling constant, default 0.4
+	Beta float64 // multiplicative decrease, default 0.7 (new = old·Beta)
+}
+
+func (c Config) withDefaults() Config {
+	if c.C == 0 {
+		c.C = 0.4
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.7
+	}
+	return c
+}
+
+// CC is the CUBIC policy for transport.Conn.
+type CC struct {
+	cfg Config
+
+	wMax     float64  // window before last reduction (packets)
+	epoch    sim.Time // start of current growth epoch
+	k        float64  // time offset to reach wMax (seconds)
+	ssthresh float64
+	inSS     bool
+}
+
+// New returns a CUBIC controller.
+func New(cfg Config) *CC {
+	return &CC{cfg: cfg.withDefaults(), ssthresh: 1 << 30, inSS: true}
+}
+
+// Init implements transport.CC.
+func (cc *CC) Init(c *transport.Conn) {
+	cc.epoch = 0
+}
+
+// OnAck implements transport.CC.
+func (cc *CC) OnAck(c *transport.Conn, acked unit.Bytes, _ *packet.Packet, rtt sim.Duration) {
+	pkts := float64(acked) / float64(c.Cfg.Segment)
+	if cc.inSS && c.Cwnd < cc.ssthresh {
+		c.Cwnd += pkts
+		c.ClampCwnd()
+		return
+	}
+	cc.inSS = false
+	now := c.Engine().Now()
+	if cc.epoch == 0 {
+		cc.epoch = now
+		if cc.wMax < c.Cwnd {
+			cc.wMax = c.Cwnd
+		}
+		cc.k = math.Cbrt(cc.wMax * (1 - cc.cfg.Beta) / cc.cfg.C)
+	}
+	t := (now - cc.epoch).Seconds() + rtt.Seconds()
+	target := cc.cfg.C*math.Pow(t-cc.k, 3) + cc.wMax
+	grow := (target - c.Cwnd) / c.Cwnd * pkts
+	// TCP-friendly region: in low-RTT networks the cubic function is
+	// glacial (K is seconds), so CUBIC must grow at least at Reno's
+	// one-segment-per-RTT rate or it parks at the plateau forever.
+	if reno := pkts / c.Cwnd; grow < reno {
+		grow = reno
+	}
+	c.Cwnd += grow
+	c.ClampCwnd()
+}
+
+// OnFastRetransmit implements transport.CC.
+func (cc *CC) OnFastRetransmit(c *transport.Conn) {
+	cc.wMax = c.Cwnd
+	c.Cwnd *= cc.cfg.Beta
+	c.ClampCwnd()
+	cc.ssthresh = c.Cwnd
+	cc.epoch = 0
+	cc.inSS = false
+}
+
+// OnTimeout implements transport.CC.
+func (cc *CC) OnTimeout(c *transport.Conn) {
+	cc.wMax = c.Cwnd
+	cc.ssthresh = math.Max(c.Cwnd*cc.cfg.Beta, c.Cfg.MinCwnd)
+	c.Cwnd = c.Cfg.MinCwnd
+	cc.epoch = 0
+	cc.inSS = true
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"expresspass/internal/netcalc"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// ---- Table 1: required buffer per port for zero data loss ----
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Network-calculus buffer bound per port class (zero data loss)",
+		Paper: "ToR down ≫ Core > ToR up; identical for fat tree and Clos; sublinear in link speed",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(_ Params, w io.Writer) error {
+	rows := []struct {
+		name         string
+		host, fabric unit.Rate
+	}{
+		{"32-ary fat tree (10/40G)", 10 * unit.Gbps, 40 * unit.Gbps},
+		{"32-ary fat tree (40/100G)", 40 * unit.Gbps, 100 * unit.Gbps},
+		{"3-tier Clos (10/40G)", 10 * unit.Gbps, 40 * unit.Gbps},
+		{"3-tier Clos (40/100G)", 40 * unit.Gbps, 100 * unit.Gbps},
+	}
+	tbl := NewTable("topology", "ToR down", "ToR up", "Core")
+	for _, r := range rows {
+		// The bound depends only on rates/delays/queue budgets, so the
+		// fat-tree and Clos rows coincide — as in the paper's Table 1.
+		b := netcalc.PaperSpec(r.host, r.fabric).Compute()
+		tbl.Add(r.name, b.ToRDown.String(), b.ToRUp.String(), b.Core.String())
+	}
+	tbl.Write(w)
+	fmt.Fprintln(w, "(paper: 577.3KB / 19.0KB / 131.1KB at 10/40G; 1.06MB / 37.2KB / 221.8KB at 40/100G)")
+	return nil
+}
+
+// ---- Fig 5: maximum ToR switch buffer breakdown ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Max ToR-switch buffer vs link speed, by credit-queue size and host delay spread",
+		Paper: "(8cq, 5µs): grows sublinearly 10/40→100/100; (4cq, 1µs hardware) much smaller",
+		Run:   runFig5,
+	})
+}
+
+func runFig5(_ Params, w io.Writer) error {
+	speeds := []struct {
+		name         string
+		host, fabric unit.Rate
+	}{
+		{"10/40G", 10 * unit.Gbps, 40 * unit.Gbps},
+		{"40/100G", 40 * unit.Gbps, 100 * unit.Gbps},
+		{"100/100G", 100 * unit.Gbps, 100 * unit.Gbps},
+	}
+	type variant struct {
+		name   string
+		queue  int
+		spread sim.Duration
+	}
+	variants := []variant{
+		{"8 credit queue, dHost=5.1us (software)", 8, sim.Micros(5.1)},
+		{"4 credit queue, dHost=1us (hardware NIC)", 4, sim.Micros(1.0)},
+	}
+	// A 32-ary fat tree ToR has 16 host ports and 16 uplink ports.
+	const downPorts, upPorts = 16, 16
+	for _, v := range variants {
+		fmt.Fprintf(w, "\n%s:\n", v.name)
+		tbl := NewTable("link/core speed", "data buffer", "static credit buffer", "total")
+		for _, s := range speeds {
+			spec := netcalc.PaperSpec(s.host, s.fabric)
+			spec.CreditQueue = v.queue
+			spec.HostDelayMin = sim.Micros(0.2)
+			spec.HostDelayMax = sim.Micros(0.2) + v.spread
+			data, credit := spec.ToRSwitchTotal(downPorts, upPorts)
+			tbl.Add(s.name, data.String(), credit.String(), (data + credit).String())
+		}
+		tbl.Write(w)
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+// Package experiments contains one registered, runnable reproduction per
+// table and figure of the paper's evaluation. Each experiment builds its
+// topology, drives its workload, and prints the same rows/series the
+// paper reports. Experiments accept a Scale knob so they can run as
+// laptop-fast smoke benches (small scale) or at paper scale (1.0).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"expresspass/internal/sim"
+)
+
+// Params control a run.
+type Params struct {
+	// Scale in (0, 1] shrinks flow counts / durations / sweep densities
+	// proportionally. 1.0 reproduces the paper-scale configuration.
+	Scale float64
+	// Seed drives every random choice.
+	Seed uint64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 0.1
+	}
+	if p.Scale > 1 {
+		p.Scale = 1
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// scaleInt returns max(lo, round(n·scale)).
+func (p Params) scaleInt(n, lo int) int {
+	v := int(float64(n)*p.Scale + 0.5)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// scaleDur returns max(lo, d·scale).
+func (p Params) scaleDur(d, lo sim.Duration) sim.Duration {
+	v := sim.Duration(float64(d) * p.Scale)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// dedupe removes adjacent duplicates from a sorted sweep list (scaling
+// can collapse two sweep points onto the same value).
+func dedupe(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Experiment is one table/figure reproduction.
+type Experiment struct {
+	ID    string // "fig1" .. "table3"
+	Title string // what the artifact shows
+	Paper string // one-line summary of the paper's reported outcome
+	Run   func(p Params, w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by ID (figures first).
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	return out
+}
+
+func idKey(id string) string {
+	// figNN sorts numerically, tables after figures.
+	var n int
+	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+		return fmt.Sprintf("a%04d", n)
+	}
+	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+		return fmt.Sprintf("b%04d", n)
+	}
+	return "c" + id
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, p Params, w io.Writer) error {
+	e, ok := Get(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown id %q", id)
+	}
+	p = p.withDefaults()
+	fmt.Fprintf(w, "== %s: %s (scale=%.2g seed=%d)\n", e.ID, e.Title, p.Scale, p.Seed)
+	return e.Run(p, w)
+}
+
+// Table is a simple aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(cols ...string) *Table { return &Table{Header: cols} }
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4g", x)
+	return s
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"expresspass/internal/core"
+	"expresspass/internal/netem"
+	"expresspass/internal/sim"
+	"expresspass/internal/stats"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+	"expresspass/internal/workload"
+)
+
+// The ext-* experiments implement and evaluate the §7 discussion items —
+// the paper's proposed extensions that its own evaluation did not cover.
+
+// ---- ext-classes: QoS via credit classes ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-classes",
+		Title: "§7 extension: traffic classes via credit queues (strict priority, weighted)",
+		Paper: "prioritizing flow A's credits over B's yields strict data priority; weights yield weighted shares",
+		Run:   runExtClasses,
+	})
+}
+
+func runExtClasses(p Params, w io.Writer) error {
+	run := func(classes []netem.CreditClassConfig) (hi, lo float64) {
+		eng := sim.New(p.Seed)
+		net := netem.NewNetwork(eng)
+		left := net.NewSwitch("L")
+		right := net.NewSwitch("R")
+		cfg := netem.PortConfig{
+			Rate: 10 * unit.Gbps, Delay: 4 * sim.Microsecond,
+			DataCapacity: 384500, CreditQueueCap: 8, CreditClasses: classes,
+		}
+		net.Connect(left, right, cfg)
+		var hosts []*netem.Host
+		for i := 0; i < 4; i++ {
+			h := net.NewHost(fmt.Sprintf("h%d", i), netem.HardwareNICDelay())
+			sw := left
+			if i >= 2 {
+				sw = right
+			}
+			net.Connect(h, sw, cfg)
+			hosts = append(hosts, h)
+		}
+		net.BuildRoutes()
+		fHi := transport.NewFlow(net, hosts[0], hosts[2], 0, 0)
+		core.Dial(fHi, core.Config{BaseRTT: 50 * sim.Microsecond, Class: 0})
+		fLo := transport.NewFlow(net, hosts[1], hosts[3], 0, 0)
+		core.Dial(fLo, core.Config{BaseRTT: 50 * sim.Microsecond, Class: 1})
+		warm := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
+		eng.RunUntil(warm)
+		fHi.TakeDeliveredDelta()
+		fLo.TakeDeliveredDelta()
+		meas := p.scaleDur(40*sim.Millisecond, 15*sim.Millisecond)
+		eng.RunFor(meas)
+		return gbps(fHi.TakeDeliveredDelta(), meas), gbps(fLo.TakeDeliveredDelta(), meas)
+	}
+
+	tbl := NewTable("policy", "class-0 Gbps", "class-1 Gbps", "ratio")
+	for _, c := range []struct {
+		name    string
+		classes []netem.CreditClassConfig
+	}{
+		{"single class (baseline)", nil},
+		{"strict priority 0 > 1", []netem.CreditClassConfig{{Priority: 0}, {Priority: 1}}},
+		{"weighted 3:1", []netem.CreditClassConfig{{Priority: 0, Weight: 3}, {Priority: 0, Weight: 1}}},
+	} {
+		hi, lo := run(c.classes)
+		ratio := "-"
+		if lo > 0.01 {
+			ratio = fmt.Sprintf("%.2f", hi/lo)
+		}
+		tbl.Add(c.name, hi, lo, ratio)
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- ext-spray: packet spraying instead of symmetric hashing ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-spray",
+		Title: "§7 extension: per-packet spraying with reorder-tolerant credit accounting",
+		Paper: "bounded queuing limits reordering; utilization and zero loss should survive spraying",
+		Run:   runExtSpray,
+	})
+}
+
+func runExtSpray(p Params, w io.Writer) error {
+	tbl := NewTable("routing", "aggregate Gbps", "jain", "maxQ KB", "data drops")
+	for _, spray := range []bool{false, true} {
+		eng := sim.New(p.Seed)
+		ft := topology.NewFatTree(eng, 4, topology.Config{LinkRate: 10 * unit.Gbps})
+		if spray {
+			for _, sw := range ft.Net.Switches() {
+				sw.SetSpraying(true)
+			}
+		}
+		// Cross-pod permutation traffic: every host sends to the host in
+		// the opposite pod, exercising the multipath core.
+		hosts := ft.Hosts
+		var flows []*transport.Flow
+		for i := range hosts {
+			j := (i + len(hosts)/2) % len(hosts)
+			f := transport.NewFlow(ft.Net, hosts[i], hosts[j], 0, 0)
+			core.Dial(f, core.Config{BaseRTT: 60 * sim.Microsecond})
+			flows = append(flows, f)
+		}
+		warm := p.scaleDur(20*sim.Millisecond, 10*sim.Millisecond)
+		eng.RunUntil(warm)
+		for _, f := range flows {
+			f.TakeDeliveredDelta()
+		}
+		ft.Net.ResetStats()
+		meas := p.scaleDur(40*sim.Millisecond, 20*sim.Millisecond)
+		eng.RunFor(meas)
+		var rates []float64
+		var total float64
+		for _, f := range flows {
+			r := gbps(f.TakeDeliveredDelta(), meas)
+			rates = append(rates, r)
+			total += r
+		}
+		var maxQ unit.Bytes
+		for _, port := range ft.Net.AllPorts() {
+			if q := port.DataStats().MaxBytes; q > maxQ {
+				maxQ = q
+			}
+		}
+		name := "symmetric ECMP"
+		if spray {
+			name = "packet spraying"
+		}
+		tbl.Add(name, total, stats.JainIndex(rates),
+			float64(maxQ)/1e3, ft.Net.TotalDataDrops())
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- ext-failover: unidirectional link failure ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-failover",
+		Title: "§3.1 mechanism: excluding unidirectionally-failed links",
+		Paper: "symmetric routing must drop both directions of a half-failed link; traffic survives on remaining paths",
+		Run:   runExtFailover,
+	})
+}
+
+func runExtFailover(p Params, w io.Writer) error {
+	eng := sim.New(p.Seed)
+	ft := topology.NewFatTree(eng, 4, topology.Config{LinkRate: 10 * unit.Gbps})
+	hosts := ft.Hosts
+	var flows []*transport.Flow
+	for i := range hosts {
+		j := (i + len(hosts)/2) % len(hosts)
+		f := transport.NewFlow(ft.Net, hosts[i], hosts[j], 0, 0)
+		core.Dial(f, core.Config{BaseRTT: 60 * sim.Microsecond})
+		flows = append(flows, f)
+	}
+	phase := p.scaleDur(30*sim.Millisecond, 10*sim.Millisecond)
+	measure := func(label string) {
+		for _, f := range flows {
+			f.TakeDeliveredDelta()
+		}
+		preDrops := ft.Net.TotalDataDrops()
+		eng.RunFor(phase)
+		var total float64
+		for _, f := range flows {
+			total += gbps(f.TakeDeliveredDelta(), phase)
+		}
+		fmt.Fprintf(w, "%-28s aggregate %.2f Gbps, new data drops %d\n",
+			label, total, ft.Net.TotalDataDrops()-preDrops)
+	}
+	eng.RunUntil(phase) // warm up
+	measure("healthy fabric:")
+
+	// Fail one direction of a ToR uplink; routing excludes both sides.
+	failed := ft.ToRUp[0][0]
+	failed.Fail()
+	ft.Net.BuildRoutes()
+	measure("after uplink failure:")
+
+	failed.Restore()
+	ft.Net.BuildRoutes()
+	measure("after repair:")
+	return nil
+}
+
+// ---- ext-stopmargin: preemptive CREDIT_STOP ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-stopmargin",
+		Title: "§7 extension: preemptive CREDIT_STOP to cut credit waste",
+		Paper: "announcing flow end ~1 BDP early reduces per-flow credit waste without stalling flows",
+		Run:   runExtStopMargin,
+	})
+}
+
+func runExtStopMargin(p Params, w io.Writer) error {
+	run := func(margin unit.Bytes, size unit.Bytes) (waste float64, fct sim.Duration, ok bool) {
+		eng := sim.New(p.Seed)
+		d := topology.NewDumbbell(eng, 2, topology.Config{
+			LinkRate: 10 * unit.Gbps, LinkDelay: 16 * sim.Microsecond,
+		})
+		f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], size, 0)
+		sess := core.Dial(f, core.Config{
+			BaseRTT: 100 * sim.Microsecond, StopMargin: margin,
+		})
+		eng.RunUntil(200 * sim.Millisecond)
+		if !f.Finished {
+			return 0, 0, false
+		}
+		return float64(sess.CreditsWasted()), f.FCT(), true
+	}
+	// ~1 BDP of data at 10G / 100 µs RTT ≈ 125 KB ≈ 81 MTUs.
+	tbl := NewTable("flow size", "waste (no margin)", "waste (margin=BDP)", "FCT delta")
+	for _, size := range []unit.Bytes{64 * unit.KB, 256 * unit.KB, 1 * unit.MB} {
+		w0, f0, ok0 := run(0, size)
+		w1, f1, ok1 := run(120*unit.KB, size)
+		if !ok0 || !ok1 {
+			tbl.Add(size.String(), "did not finish", "-", "-")
+			continue
+		}
+		tbl.Add(size.String(), w0, w1, (f1 - f0).String())
+	}
+	tbl.Write(w)
+	return nil
+}
+
+var _ = workload.SizeClass // cohesion anchor

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"expresspass/internal/core"
+	"expresspass/internal/sim"
+	"expresspass/internal/stats"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+	"expresspass/internal/workload"
+)
+
+// ---- Fig 1: partition/aggregate queue build-up vs fan-out ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Data-queue length under partition/aggregate vs fan-out (ideal rate, DCTCP, credit)",
+		Paper: "ideal & DCTCP queues grow ∝ fan-out (DCTCP worse); credit-based stays bounded",
+		Run:   runFig1,
+	})
+}
+
+func runFig1(p Params, w io.Writer) error {
+	rtt := 50 * sim.Microsecond
+	fanouts := dedupe([]int{32, 64, 128, p.scaleInt(512, 128), p.scaleInt(2048, 128)})
+	tbl := NewTable("fanout", "proto", "maxQ pkts", "avgQ KB", "drops")
+	for _, fanout := range fanouts {
+		for _, proto := range []Proto{ProtoIdeal, ProtoDCTCP, ProtoExpressPass} {
+			eng := sim.New(p.Seed)
+			tcfg := topology.Config{
+				LinkRate: 10 * unit.Gbps,
+				// Deep buffer so the queue growth itself is visible
+				// rather than truncated by drops (the paper's red
+				// "max bound" line).
+				DataCapacity: 16 * unit.MB,
+			}
+			proto.Features(&tcfg, rtt)
+			ft := topology.NewFatTree(eng, 4, tcfg)
+			hosts := ft.Hosts
+			master := hosts[0]
+			env := &Env{Eng: eng, Net: ft.Net, BaseRTT: rtt,
+				XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
+				Conn: transport.ConnConfig{}}
+			// The master continuously requests from `fanout` workers
+			// over persistent connections (§2); model the responses as
+			// backlogged worker→master streams whose starts are
+			// staggered by the serialized 200 B request fan-out.
+			rng := eng.Rand().Fork()
+			for i := 0; i < fanout; i++ {
+				worker := hosts[1+i%(len(hosts)-1)]
+				start := sim.Duration(i)*190*sim.Nanosecond +
+					rng.Range(0, 2*sim.Microsecond)
+				f := transport.NewFlow(ft.Net, worker, master, 0, start)
+				env.Dial(proto, f)
+			}
+			// The master's ToR downlink is the incast bottleneck.
+			bn := master.NIC().Peer()
+			eng.RunUntil(p.scaleDur(60*sim.Millisecond, 20*sim.Millisecond))
+			st := bn.DataStats()
+			tbl.Add(fanout, string(proto),
+				float64(st.MaxBytes)/float64(unit.MaxFrame),
+				st.AvgBytes(eng.Now(), bn.DataQueueBytes())/1e3,
+				st.Drops)
+		}
+	}
+	tbl.Write(w)
+	fmt.Fprintln(w, "(paper's max-bound line grows with fan-out; credit-based stays flat)")
+	return nil
+}
+
+// ---- Fig 17: MapReduce shuffle FCT distribution ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig17",
+		Title: "Shuffle (all-to-all) flow completion times: XP vs DCTCP",
+		Paper: "DCTCP median slightly better; XP 1.51× better @99% and 6.65× at max",
+		Run:   runFig17,
+	})
+}
+
+func runFig17(p Params, w io.Writer) error {
+	rtt := 50 * sim.Microsecond
+	hosts := p.scaleInt(40, 10)
+	tasks := p.scaleInt(8, 2)
+	bytes := unit.Bytes(float64(1*unit.MB) * p.Scale * 4)
+	if bytes < 100*unit.KB {
+		bytes = 100 * unit.KB
+	}
+	fmt.Fprintf(w, "hosts=%d tasksPerHost=%d bytesPerPair=%v flows=%d\n",
+		hosts, tasks, bytes, hosts*(hosts-1)*tasks*tasks)
+	tbl := NewTable("proto", "median FCT", "99% FCT", "max FCT", "drops", "finished")
+	for _, proto := range []Proto{ProtoExpressPass, ProtoDCTCP} {
+		eng := sim.New(p.Seed)
+		tcfg := topology.Config{LinkRate: 10 * unit.Gbps}
+		proto.Features(&tcfg, rtt)
+		st := topology.NewStar(eng, hosts, tcfg)
+		specs := workload.Shuffle(eng.Rand().Fork(), workload.ShuffleConfig{
+			Hosts: hosts, TasksPerHost: tasks, Bytes: bytes,
+			StartJitter: 1 * sim.Millisecond,
+		})
+		env := &Env{Eng: eng, Net: st.Net, BaseRTT: rtt,
+			XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
+			Conn: transport.ConnConfig{}}
+		var flows []*transport.Flow
+		for _, s := range specs {
+			f := transport.NewFlow(st.Net, st.Hosts[s.Src], st.Hosts[s.Dst], s.Size, s.Start)
+			flows = append(flows, f)
+			env.Dial(proto, f)
+		}
+		// Run to completion (with a generous cap).
+		ideal := float64(bytes) * float64(len(specs)) * 8 /
+			(float64(hosts) * 10e9 * 0.9)
+		cap := sim.Seconds(ideal*20) + 2*sim.Second
+		eng.RunUntil(cap)
+		var fcts []float64
+		finished := 0
+		for _, f := range flows {
+			if f.Finished {
+				finished++
+				fcts = append(fcts, f.FCT().Seconds())
+			}
+		}
+		s := stats.Summarize(fcts)
+		tbl.Add(string(proto),
+			fmt.Sprintf("%.4gs", s.P50), fmt.Sprintf("%.4gs", s.P99),
+			fmt.Sprintf("%.4gs", s.Max), st.Net.TotalDataDrops(),
+			fmt.Sprintf("%d/%d", finished, len(flows)))
+	}
+	tbl.Write(w)
+	return nil
+}

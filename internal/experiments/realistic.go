@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"expresspass/internal/core"
+	"expresspass/internal/sim"
+	"expresspass/internal/stats"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+	"expresspass/internal/workload"
+)
+
+// realisticCfg parameterizes one §6.3 run.
+type realisticCfg struct {
+	proto    Proto
+	dist     *workload.SizeDist
+	load     float64
+	linkRate unit.Rate
+	alpha    float64 // ExpressPass α (0 → default 1/16 per §6.3)
+	winit    float64
+}
+
+// realisticResult aggregates what the §6.3 figures report.
+type realisticResult struct {
+	fctByClass  map[string][]float64 // size class → FCT seconds
+	finished    int
+	total       int
+	creditRecv  uint64
+	creditWaste uint64
+	dataDrops   uint64
+	avgQueueKB  float64 // mean over switch ports of time-avg occupancy
+	maxQueueKB  float64 // max over switch ports of peak occupancy
+}
+
+func (r realisticResult) fcts(classes ...string) []float64 {
+	var out []float64
+	for _, c := range classes {
+		out = append(out, r.fctByClass[c]...)
+	}
+	return out
+}
+
+// wasteRatio is the Fig 20 metric: credits that reached the sender after
+// it had nothing left to send, over all credits that reached senders.
+func (r realisticResult) wasteRatio() float64 {
+	if r.creditRecv == 0 {
+		return 0
+	}
+	return float64(r.creditWaste) / float64(r.creditRecv)
+}
+
+// runRealistic executes one workload run on the oversubscribed fabric.
+func runRealistic(p Params, rc realisticCfg) realisticResult {
+	eng := sim.New(p.Seed)
+	baseRTT := 52 * sim.Microsecond
+	tcfg := topology.Config{LinkRate: rc.linkRate, CoreRate: rc.linkRate}
+	rc.proto.Features(&tcfg, baseRTT)
+	params := topology.ScaledEval()
+	if p.Scale >= 0.5 {
+		params = topology.PaperEval()
+	}
+	ot := topology.NewOversubTree(eng, params, tcfg)
+	hosts := ot.Hosts
+
+	// Offered load is defined against the aggregate ToR uplink capacity;
+	// only flows leaving their rack cross uplinks, so correct for the
+	// intra-rack fraction of uniform random peering.
+	uplink := ot.UplinkCapacity()
+	pCross := float64(len(hosts)-params.HostsPerToR) / float64(len(hosts)-1)
+
+	// Total volume budget keeps run times bounded at small scale while
+	// scale=1 reproduces the paper's 100k-flow runs.
+	budget := unit.Bytes(float64(6*unit.GB) * p.Scale * float64(rc.linkRate) / float64(10*unit.Gbps))
+	flows := int(float64(budget) / float64(rc.dist.Mean()))
+	if flows < 150 {
+		flows = 150
+	}
+	if flows > 100000 {
+		flows = 100000
+	}
+
+	specs := workload.Poisson(eng.Rand().Fork(), workload.PoissonConfig{
+		Hosts: len(hosts), Dist: rc.dist,
+		Load:    rc.load / pCross,
+		RefRate: uplink,
+		Flows:   flows,
+		Start:   time0,
+	})
+
+	alpha, winit := rc.alpha, rc.winit
+	if alpha == 0 {
+		alpha = 1.0 / 16
+	}
+	if winit == 0 {
+		winit = 1.0 / 16
+	}
+	env := &Env{Eng: eng, Net: ot.Net, BaseRTT: baseRTT,
+		XP:   core.Config{Alpha: alpha, WInit: winit, BaseRTT: baseRTT},
+		Conn: transport.ConnConfig{}}
+
+	res := realisticResult{fctByClass: map[string][]float64{}, total: len(specs)}
+	var sessions []*core.Session
+	var all []*transport.Flow
+	for _, s := range specs {
+		f := transport.NewFlow(ot.Net, hosts[s.Src], hosts[s.Dst], s.Size, s.Start)
+		all = append(all, f)
+		h := env.Dial(rc.proto, f)
+		if sess, ok := h.(*core.Session); ok {
+			sessions = append(sessions, sess)
+		}
+	}
+
+	// Run until (nearly) all flows finish, bounded by a generous cap.
+	deadline := specs[len(specs)-1].Start + 4*sim.Second
+	for eng.Now() < deadline {
+		eng.RunFor(20 * sim.Millisecond)
+		done := 0
+		for _, f := range all {
+			if f.Finished {
+				done++
+			}
+		}
+		if done >= len(all) {
+			break
+		}
+		if eng.Pending() == 0 {
+			break
+		}
+	}
+
+	for _, f := range all {
+		if !f.Finished {
+			continue
+		}
+		res.finished++
+		cls := workload.SizeClass(f.Size)
+		res.fctByClass[cls] = append(res.fctByClass[cls], f.FCT().Seconds())
+	}
+	for _, s := range sessions {
+		res.creditRecv += s.CreditsReceived()
+		res.creditWaste += s.CreditsWasted()
+	}
+	res.dataDrops = ot.Net.TotalDataDrops()
+
+	now := eng.Now()
+	var sumAvg float64
+	var nPorts int
+	var maxQ unit.Bytes
+	for _, sw := range ot.Net.Switches() {
+		for _, port := range sw.Ports() {
+			st := port.DataStats()
+			sumAvg += st.AvgBytes(now, port.DataQueueBytes())
+			nPorts++
+			if st.MaxBytes > maxQ {
+				maxQ = st.MaxBytes
+			}
+		}
+	}
+	if nPorts > 0 {
+		res.avgQueueKB = sumAvg / float64(nPorts) / 1e3
+	}
+	res.maxQueueKB = float64(maxQ) / 1e3
+	return res
+}
+
+// time0 lets the Poisson process start slightly after zero so dial-time
+// events order deterministically.
+const time0 = 10 * sim.Microsecond
+
+// ---- Fig 18: FCT sensitivity to α and w_init ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig18",
+		Title: "99%-ile FCT sensitivity to initial rate α and w_init (load 0.6)",
+		Paper: "α=w_init=1/16 is the sweet spot: large-flow FCT drops, small-flow FCT grows <100%",
+		Run:   runFig18,
+	})
+}
+
+func runFig18(p Params, w io.Writer) error {
+	combos := []struct{ a, wi float64 }{
+		{0.5, 0.5}, {1.0 / 16, 0.5}, {1.0 / 16, 1.0 / 16},
+		{1.0 / 32, 1.0 / 16}, {1.0 / 32, 1.0 / 32},
+	}
+	dists := []*workload.SizeDist{workload.DataMining(), workload.CacheFollower(), workload.WebServer()}
+	tbl := NewTable("alpha/winit", "workload", "99% FCT S", "99% FCT L")
+	for _, c := range combos {
+		for _, d := range dists {
+			res := runRealistic(p, realisticCfg{
+				proto: ProtoExpressPass, dist: d, load: 0.6,
+				linkRate: 10 * unit.Gbps, alpha: c.a, winit: c.wi,
+			})
+			s := stats.Percentile(res.fcts("S"), 99)
+			l := stats.Percentile(res.fcts("L"), 99)
+			tbl.Add(fmt.Sprintf("1/%g / 1/%g", 1/c.a, 1/c.wi), d.Name,
+				fmt.Sprintf("%.3gms", s*1e3), fmt.Sprintf("%.3gms", l*1e3))
+		}
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- Fig 19: FCT by flow-size class across protocols ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig19",
+		Title: "Avg/99% FCT by size class, 5 protocols, load 0.6",
+		Paper: "XP fastest for S/M across workloads; DCTCP/RCP better on L/XL",
+		Run:   runFig19,
+	})
+}
+
+func runFig19(p Params, w io.Writer) error {
+	dists := []*workload.SizeDist{workload.WebServer(), workload.CacheFollower(), workload.DataMining()}
+	tbl := NewTable("workload", "proto", "S avg/99 ms", "M avg/99 ms", "L avg/99 ms", "XL avg/99 ms", "fin")
+	for _, d := range dists {
+		for _, proto := range EvalProtos() {
+			res := runRealistic(p, realisticCfg{
+				proto: proto, dist: d, load: 0.6, linkRate: 10 * unit.Gbps,
+			})
+			cell := func(cls string) string {
+				xs := res.fcts(cls)
+				if len(xs) == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.3g/%.3g", stats.Mean(xs)*1e3, stats.Percentile(xs, 99)*1e3)
+			}
+			tbl.Add(d.Name, string(proto), cell("S"), cell("M"), cell("L"), cell("XL"),
+				fmt.Sprintf("%d/%d", res.finished, res.total))
+		}
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- Fig 20: credit waste ratio ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig20",
+		Title: "Credit waste ratio by workload, link speed, and α (load 0.6)",
+		Paper: "waste grows as flows shrink and speed rises: 4–34% @10G, up to 60% @40G with α=1/2; α=1/16 halves it",
+		Run:   runFig20,
+	})
+}
+
+func runFig20(p Params, w io.Writer) error {
+	tbl := NewTable("workload", "10G a=1/16", "10G a=1/2", "40G a=1/16", "40G a=1/2")
+	for _, d := range workload.AllDists() {
+		row := []any{d.Name}
+		for _, rate := range []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps} {
+			for _, a := range []float64{1.0 / 16, 0.5} {
+				res := runRealistic(p, realisticCfg{
+					proto: ProtoExpressPass, dist: d, load: 0.6,
+					linkRate: rate, alpha: a, winit: a,
+				})
+				row = append(row, fmt.Sprintf("%.1f%%", res.wasteRatio()*100))
+			}
+		}
+		tbl.Add(row...)
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- Fig 21: FCT speed-up of 40G over 10G ----
+
+func init() {
+	register(Experiment{
+		ID:    "fig21",
+		Title: "Average FCT speed-up of 40G links over 10G (load 0.6)",
+		Paper: "XP gains most (1.5–3.5×) except WebServer L (credit waste); DX/HULL benefit least",
+		Run:   runFig21,
+	})
+}
+
+func runFig21(p Params, w io.Writer) error {
+	dists := []*workload.SizeDist{workload.WebServer(), workload.WebSearch()}
+	tbl := NewTable("workload", "proto", "S speedup", "M speedup", "L speedup", "XL speedup")
+	for _, d := range dists {
+		for _, proto := range EvalProtos() {
+			var byRate [2]realisticResult
+			for i, rate := range []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps} {
+				byRate[i] = runRealistic(p, realisticCfg{
+					proto: proto, dist: d, load: 0.6, linkRate: rate,
+				})
+			}
+			cell := func(cls string) string {
+				a, b := byRate[0].fcts(cls), byRate[1].fcts(cls)
+				if len(a) == 0 || len(b) == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%.2fx", stats.Mean(a)/stats.Mean(b))
+			}
+			tbl.Add(d.Name, string(proto), cell("S"), cell("M"), cell("L"), cell("XL"))
+		}
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- Table 3: queue occupancy ----
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Average/maximum switch queue occupancy by workload and load",
+		Paper: "XP avg ≤0.54 KB and max ≤50 KB, load-insensitive; others grow with load",
+		Run:   runTable3,
+	})
+}
+
+func runTable3(p Params, w io.Writer) error {
+	loads := []float64{0.2, 0.4, 0.6}
+	tbl := NewTable("workload", "load", "proto", "avgQ KB", "maxQ KB", "drops")
+	for _, d := range workload.AllDists() {
+		for _, load := range loads {
+			for _, proto := range EvalProtos() {
+				res := runRealistic(p, realisticCfg{
+					proto: proto, dist: d, load: load, linkRate: 10 * unit.Gbps,
+				})
+				tbl.Add(d.Name, load, string(proto),
+					fmt.Sprintf("%.2f", res.avgQueueKB),
+					fmt.Sprintf("%.1f", res.maxQueueKB),
+					res.dataDrops)
+			}
+		}
+	}
+	tbl.Write(w)
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package hull implements the HULL baseline (Alizadeh et al., NSDI 2012):
+// phantom queues at switch egress ports simulate a virtual link running
+// below line rate (γ ≈ 0.95) and ECN-mark packets when the virtual
+// backlog exceeds a small threshold; hosts run DCTCP against those
+// marks, trading a little bandwidth for near-zero real queues.
+//
+// The host side is exactly DCTCP, so this package provides the HULL host
+// controller as a configured DCTCP instance plus the port feature config;
+// experiments enable netem.PhantomConfig on switch ports and disable the
+// real-queue ECN threshold.
+package hull
+
+import (
+	"expresspass/internal/dctcp"
+	"expresspass/internal/netem"
+	"expresspass/internal/unit"
+)
+
+// Config tunes HULL.
+type Config struct {
+	DrainFactor   float64    // phantom drain fraction γ, default 0.95
+	MarkThreshold unit.Bytes // phantom marking threshold, default 1 KB
+	G             float64    // DCTCP gain at the host, default 1/16
+}
+
+// New returns the HULL host-side controller (a DCTCP instance).
+func New(cfg Config) *dctcp.CC {
+	return dctcp.New(dctcp.Config{G: cfg.G, InitAlpha: 1})
+}
+
+// PortFeature returns the phantom-queue feature to install on every
+// switch egress port for HULL experiments.
+func PortFeature(cfg Config) *netem.PhantomConfig {
+	return &netem.PhantomConfig{
+		DrainFactor:   cfg.DrainFactor,
+		MarkThreshold: cfg.MarkThreshold,
+	}
+}

@@ -1,0 +1,81 @@
+package hull_test
+
+import (
+	"testing"
+
+	"expresspass/internal/hull"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+func hullNet(seed uint64, n int) (*sim.Engine, *topology.Dumbbell) {
+	eng := sim.New(seed)
+	d := topology.NewDumbbell(eng, n, topology.Config{
+		LinkRate:  10 * unit.Gbps,
+		LinkDelay: 4 * sim.Microsecond,
+		Phantom:   hull.PortFeature(hull.Config{}),
+	})
+	return eng, d
+}
+
+func dial(d *topology.Dumbbell, i int) *transport.Flow {
+	f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 0, 0)
+	transport.NewConn(f, hull.New(hull.Config{}),
+		transport.ConnConfig{ECN: true, MinCwnd: 2})
+	return f
+}
+
+// HULL trades a little bandwidth (the phantom queue runs at 95% of line
+// rate) for near-empty real queues.
+func TestHULLSacrificesBandwidthForLatency(t *testing.T) {
+	eng, d := hullNet(1, 4)
+	for i := 0; i < 4; i++ {
+		dial(d, i)
+	}
+	eng.RunUntil(20 * sim.Millisecond)
+	d.Bottleneck.ResetStats()
+	eng.RunFor(30 * sim.Millisecond)
+	util := float64(d.Bottleneck.TxDataBytes) * 8 / 0.03 / 10e9
+	if util > 0.99 {
+		t.Errorf("utilization %.3f — phantom queue not biting", util)
+	}
+	if util < 0.70 {
+		t.Errorf("utilization %.3f — far below the phantom drain rate", util)
+	}
+	maxQ := d.Bottleneck.DataStats().MaxBytes
+	if maxQ > 120*unit.KB {
+		t.Errorf("real queue %v too large for HULL", maxQ)
+	}
+	if d.Net.TotalDataDrops() != 0 {
+		t.Error("HULL dropped data")
+	}
+}
+
+func TestHULLQueueBelowDCTCP(t *testing.T) {
+	// Same load without phantom queues (plain ECN at K) queues more.
+	engH, dH := hullNet(2, 4)
+	for i := 0; i < 4; i++ {
+		dial(dH, i)
+	}
+	engH.RunUntil(40 * sim.Millisecond)
+
+	engD := sim.New(2)
+	dD := topology.NewDumbbell(engD, 4, topology.Config{
+		LinkRate: 10 * unit.Gbps, LinkDelay: 4 * sim.Microsecond,
+		ECNThreshold: 65 * 1538,
+	})
+	for i := 0; i < 4; i++ {
+		f := transport.NewFlow(dD.Net, dD.Senders[i], dD.Receivers[i], 0, 0)
+		transport.NewConn(f, hull.New(hull.Config{}),
+			transport.ConnConfig{ECN: true, MinCwnd: 2})
+	}
+	engD.RunUntil(40 * sim.Millisecond)
+
+	qH := dH.Bottleneck.DataStats().MaxBytes
+	qD := dD.Bottleneck.DataStats().MaxBytes
+	if qH >= qD {
+		t.Errorf("HULL queue %v not below threshold-marking queue %v", qH, qD)
+	}
+}

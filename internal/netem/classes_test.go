@@ -1,0 +1,212 @@
+package netem
+
+import (
+	"testing"
+
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// classPair builds a one-link network with two credit classes.
+func classPair(t *testing.T, classes []CreditClassConfig) (*sim.Engine, *sink, *Port) {
+	t.Helper()
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	a, b := &sink{id: 0}, &sink{id: 1}
+	net.nodes = []Node{a, b}
+	ab, _ := net.Connect(a, b, PortConfig{
+		Rate: 10 * unit.Gbps, Delay: 0,
+		CreditQueueCap: 8, CreditClasses: classes,
+	})
+	return eng, b, ab
+}
+
+func offerCredits(eng *sim.Engine, ab *Port, class uint8, gap sim.Duration, until sim.Time) {
+	var emit func()
+	emit = func() {
+		c := packet.Get()
+		c.Kind = packet.Credit
+		c.Class = class
+		c.Wire = unit.MinFrame
+		ab.Enqueue(c)
+		if eng.Now() < until {
+			eng.After(gap, emit)
+		}
+	}
+	emit()
+}
+
+func TestCreditClassStrictPriority(t *testing.T) {
+	eng, _, ab := classPair(t, []CreditClassConfig{
+		{Priority: 0}, // high
+		{Priority: 1}, // low
+	})
+	// Both classes offer at the full credit rate (2x overload total).
+	gap := unit.TxTime(unit.MinFrame+unit.MaxFrame, 10*unit.Gbps)
+	offerCredits(eng, ab, 0, gap, 10*sim.Millisecond)
+	offerCredits(eng, ab, 1, gap, 10*sim.Millisecond)
+	eng.RunUntil(10 * sim.Millisecond)
+	tx := ab.TxCreditByClass()
+	if tx[0] == 0 || tx[1] == 0 {
+		t.Fatalf("classes starved: %v", tx)
+	}
+	// Strict priority: high class passes (nearly) everything it offers;
+	// low class only scraps.
+	if float64(tx[1]) > 0.1*float64(tx[0]) {
+		t.Errorf("low class got %d vs high %d — priority not strict enough", tx[1], tx[0])
+	}
+}
+
+func TestCreditClassWeightedShare(t *testing.T) {
+	eng, _, ab := classPair(t, []CreditClassConfig{
+		{Priority: 0, Weight: 2},
+		{Priority: 0, Weight: 1},
+	})
+	gap := unit.TxTime(unit.MinFrame+unit.MaxFrame, 10*unit.Gbps)
+	offerCredits(eng, ab, 0, gap, 10*sim.Millisecond)
+	offerCredits(eng, ab, 1, gap, 10*sim.Millisecond)
+	eng.RunUntil(10 * sim.Millisecond)
+	tx := ab.TxCreditByClass()
+	ratio := float64(tx[0]) / float64(tx[1])
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("weighted 2:1 share came out %.2f (%v)", ratio, tx)
+	}
+}
+
+func TestCreditClassUnderloadedClassUnaffected(t *testing.T) {
+	eng, _, ab := classPair(t, []CreditClassConfig{
+		{Priority: 0, Weight: 1},
+		{Priority: 0, Weight: 1},
+	})
+	gap := unit.TxTime(unit.MinFrame+unit.MaxFrame, 10*unit.Gbps)
+	// Class 0 offers 4x its share; class 1 offers only 10% of the link.
+	offerCredits(eng, ab, 0, gap/4, 10*sim.Millisecond)
+	offerCredits(eng, ab, 1, gap*10, 10*sim.Millisecond)
+	eng.RunUntil(10 * sim.Millisecond)
+	tx := ab.TxCreditByClass()
+	// Class 1's modest offering passes in full (work-conserving DRR).
+	offered1 := uint64(10 * sim.Millisecond / (gap * 10))
+	if tx[1] < offered1-2 {
+		t.Errorf("underloaded class delivered %d of %d", tx[1], offered1)
+	}
+}
+
+func TestCreditClassOutOfRangeClamps(t *testing.T) {
+	eng, b, ab := classPair(t, []CreditClassConfig{{Priority: 0}})
+	c := packet.Get()
+	c.Kind = packet.Credit
+	c.Class = 7 // beyond configured classes
+	c.Wire = unit.MinFrame
+	ab.Enqueue(c)
+	eng.Run()
+	if b.credits != 1 {
+		t.Error("out-of-range class packet lost")
+	}
+}
+
+func TestClassStatsAccessors(t *testing.T) {
+	_, _, ab := classPair(t, []CreditClassConfig{{Priority: 0}, {Priority: 1}})
+	if ab.ClassStats(0) == nil || ab.ClassStats(1) == nil {
+		t.Fatal("nil class stats")
+	}
+	if ab.ClassStats(0) == ab.ClassStats(1) {
+		t.Error("classes share stats")
+	}
+	// Out-of-range falls back to the aggregate accessor.
+	if ab.ClassStats(9) == nil {
+		t.Error("out-of-range stats nil")
+	}
+}
+
+func TestFailureExclusion(t *testing.T) {
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	s1 := net.NewSwitch("s1")
+	s2 := net.NewSwitch("s2")
+	cfg := PortConfig{Rate: 10 * unit.Gbps, Delay: sim.Microsecond}
+	// Two parallel links between the switches.
+	l1ab, _ := net.Connect(s1, s2, cfg)
+	net.Connect(s1, s2, cfg)
+	a := net.NewHost("a", HardwareNICDelay())
+	b := net.NewHost("b", HardwareNICDelay())
+	net.Connect(a, s1, cfg)
+	net.Connect(b, s2, cfg)
+	net.BuildRoutes()
+
+	if got := len(s1.Routes(b.ID())); got != 2 {
+		t.Fatalf("healthy ECMP candidates = %d, want 2", got)
+	}
+	// Fail ONE direction of link 1: the whole link must be excluded in
+	// BOTH directions (unidirectional failures break path symmetry).
+	l1ab.Fail()
+	net.BuildRoutes()
+	if got := len(s1.Routes(b.ID())); got != 1 {
+		t.Fatalf("post-failure candidates s1→b = %d, want 1", got)
+	}
+	if got := len(s2.Routes(a.ID())); got != 1 {
+		t.Fatalf("post-failure candidates s2→a = %d, want 1 (reverse excluded too)", got)
+	}
+	// Traffic still flows over the surviving link.
+	if net.TracePath(a.ID(), b.ID(), 1) == nil {
+		t.Fatal("unroutable after single-link failure")
+	}
+	l1ab.Restore()
+	net.BuildRoutes()
+	if got := len(s1.Routes(b.ID())); got != 2 {
+		t.Errorf("restore did not bring the link back: %d", got)
+	}
+}
+
+func TestFailureDisconnectClearsRoutes(t *testing.T) {
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	s1 := net.NewSwitch("s1")
+	s2 := net.NewSwitch("s2")
+	cfg := PortConfig{Rate: 10 * unit.Gbps, Delay: sim.Microsecond}
+	link, _ := net.Connect(s1, s2, cfg)
+	a := net.NewHost("a", HardwareNICDelay())
+	b := net.NewHost("b", HardwareNICDelay())
+	net.Connect(a, s1, cfg)
+	net.Connect(b, s2, cfg)
+	net.BuildRoutes()
+	link.Fail()
+	net.BuildRoutes()
+	if s1.Routes(b.ID()) != nil {
+		t.Error("stale route survives disconnection")
+	}
+	if net.TracePath(a.ID(), b.ID(), 1) != nil {
+		t.Error("TracePath found a path through a dead link")
+	}
+}
+
+func TestSprayingSpreadsPackets(t *testing.T) {
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	s1 := net.NewSwitch("s1")
+	s2 := net.NewSwitch("s2")
+	cfg := PortConfig{Rate: 10 * unit.Gbps, Delay: sim.Microsecond}
+	la, _ := net.Connect(s1, s2, cfg)
+	lb, _ := net.Connect(s1, s2, cfg)
+	a := net.NewHost("a", HardwareNICDelay())
+	b := net.NewHost("b", HardwareNICDelay())
+	net.Connect(a, s1, cfg)
+	net.Connect(b, s2, cfg)
+	net.BuildRoutes()
+	s1.SetSpraying(true)
+
+	for i := 0; i < 500; i++ {
+		p := packet.Get()
+		p.Kind = packet.Data
+		p.Flow = 1 // single flow: hashing would pin one link
+		p.Src = a.ID()
+		p.Dst = b.ID()
+		p.Wire = 1538
+		s1.Deliver(p, nil)
+	}
+	eng.Run()
+	ta, tb := la.TxPackets, lb.TxPackets
+	if ta < 150 || tb < 150 {
+		t.Errorf("spray split %d/%d, want roughly even", ta, tb)
+	}
+}

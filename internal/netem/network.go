@@ -1,0 +1,243 @@
+package netem
+
+import (
+	"fmt"
+
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// DefaultHostQueue is the NIC egress data budget. It is generous so host
+// egress never drops locally-sourced data; contention is at switches.
+const DefaultHostQueue = 16 * unit.MB
+
+// Network owns the nodes and links of one simulated topology.
+type Network struct {
+	Eng *sim.Engine
+
+	nodes    []Node
+	hosts    []*Host
+	switches []*Switch
+	ports    []*Port
+
+	nextFlow packet.FlowID
+}
+
+// NewNetwork returns an empty network bound to eng.
+func NewNetwork(eng *sim.Engine) *Network {
+	return &Network{Eng: eng}
+}
+
+// NewHost adds a host with the given delay model.
+func (n *Network) NewHost(name string, delay HostDelayConfig) *Host {
+	h := &Host{
+		id:    packet.NodeID(len(n.nodes)),
+		name:  name,
+		net:   n,
+		eng:   n.Eng,
+		rng:   n.Eng.Rand().Fork(),
+		eps:   make(map[packet.FlowID]Endpoint),
+		Delay: delay,
+	}
+	n.nodes = append(n.nodes, h)
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// NewSwitch adds a switch.
+func (n *Network) NewSwitch(name string) *Switch {
+	s := &Switch{
+		id:     packet.NodeID(len(n.nodes)),
+		name:   name,
+		net:    n,
+		routes: make(map[packet.NodeID][]int),
+	}
+	n.nodes = append(n.nodes, s)
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// Connect creates a full-duplex link between a and b: an egress port on
+// each side with symmetric rate/delay taken from cfg. Per-side data
+// capacity, ECN, RCP, and phantom settings also come from cfg; hosts get
+// DefaultHostQueue if cfg.DataCapacity is zero.
+func (n *Network) Connect(a, b Node, cfg PortConfig) (ab, ba *Port) {
+	mk := func(owner, peer Node) *Port {
+		c := cfg
+		if _, isHost := owner.(*Host); isHost {
+			if c.DataCapacity == 0 {
+				c.DataCapacity = DefaultHostQueue
+			}
+			if c.CreditRatio == 0 {
+				// The host-side credit limiter is a safety valve, not
+				// the precise enforcer (that is the switch meter, as in
+				// the paper's testbed). Giving it ~5% headroom keeps it
+				// from re-pacing the flow pacers' output, which would
+				// erase the pacing jitter the fair-credit-drop
+				// mechanism depends on (§3.1, Fig 6).
+				c.CreditRatio = unit.CreditRatio * 1.02
+			}
+		}
+		name := fmt.Sprintf("%s->%s", owner.Name(), peer.Name())
+		return newPort(n.Eng, owner, c, name)
+	}
+	ab = mk(a, b)
+	ba = mk(b, a)
+	ab.peer, ba.peer = ba, ab
+	ab.net, ba.net = n, n
+	ab.global, ba.global = len(n.ports), len(n.ports)+1
+	a.addPort(ab)
+	b.addPort(ba)
+	n.ports = append(n.ports, ab, ba)
+	return ab, ba
+}
+
+// Hosts returns all hosts in creation order.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// AllPorts returns every egress port in the network.
+func (n *Network) AllPorts() []*Port { return n.ports }
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id packet.NodeID) Node { return n.nodes[id] }
+
+// NumNodes returns the number of nodes.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NextFlowID allocates a fresh flow ID.
+func (n *Network) NextFlowID() packet.FlowID {
+	n.nextFlow++
+	return n.nextFlow
+}
+
+// ResetStats restarts statistics on every port (used after warm-up).
+func (n *Network) ResetStats() {
+	for _, p := range n.ports {
+		p.ResetStats()
+	}
+}
+
+// TotalDataDrops sums data-class drops across all ports.
+func (n *Network) TotalDataDrops() uint64 {
+	var d uint64
+	for _, p := range n.ports {
+		d += p.data.stats.Drops
+	}
+	return d
+}
+
+// TotalCreditDrops sums credit-class drops across all ports.
+func (n *Network) TotalCreditDrops() uint64 {
+	var d uint64
+	for _, p := range n.ports {
+		d += p.CreditDrops()
+	}
+	return d
+}
+
+// BuildRoutes computes shortest-path ECMP route tables for every switch
+// toward every host, breadth-first from each destination. Candidate sets
+// contain every neighbor on some shortest path; SetRoutes sorts them by
+// neighbor ID for deterministic (and therefore symmetric) ECMP.
+func (n *Network) BuildRoutes() {
+	adj := make([][]*Port, len(n.nodes)) // adj[node] = egress ports
+	for _, nd := range n.nodes {
+		adj[nd.ID()] = nd.Ports()
+	}
+	for _, dst := range n.hosts {
+		n.buildRoutesTo(dst.ID(), adj)
+	}
+}
+
+func (n *Network) buildRoutesTo(dst packet.NodeID, adj [][]*Port) {
+	const inf = int(1e9)
+	dist := make([]int, len(n.nodes))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[dst] = 0
+	queue := []packet.NodeID{dst}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, p := range adj[v] {
+			if !p.Usable() {
+				continue
+			}
+			u := p.peer.owner.ID()
+			if dist[u] == inf {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	for _, sw := range n.switches {
+		if dist[sw.ID()] == inf {
+			sw.ClearRoutes(dst) // disconnected: drop any stale entry
+			continue
+		}
+		var cand []int
+		for i, p := range sw.Ports() {
+			if p.Usable() && dist[p.peer.owner.ID()] == dist[sw.ID()]-1 {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) > 0 {
+			sw.SetRoutes(dst, cand)
+		} else {
+			sw.ClearRoutes(dst)
+		}
+	}
+}
+
+// TracePorts returns the sequence of egress ports a packet of the given
+// flow traverses from src to dst, or nil if unroutable.
+func (n *Network) TracePorts(src, dst packet.NodeID, flow packet.FlowID) []*Port {
+	var ports []*Port
+	cur := n.nodes[src]
+	for cur.ID() != dst {
+		var out *Port
+		switch v := cur.(type) {
+		case *Host:
+			out = v.NIC()
+		case *Switch:
+			out = v.NextPort(src, dst, flow)
+		}
+		if out == nil || len(ports) > len(n.nodes) {
+			return nil
+		}
+		ports = append(ports, out)
+		cur = out.peer.owner
+	}
+	return ports
+}
+
+// TracePath returns the sequence of nodes a packet of the given flow
+// would traverse from src to dst (inclusive), for path-symmetry checks.
+func (n *Network) TracePath(src, dst packet.NodeID, flow packet.FlowID) []packet.NodeID {
+	path := []packet.NodeID{src}
+	cur := n.nodes[src]
+	for cur.ID() != dst {
+		var next Node
+		switch v := cur.(type) {
+		case *Host:
+			next = v.NIC().peer.owner
+		case *Switch:
+			out := v.NextPort(src, dst, flow)
+			if out == nil {
+				return nil
+			}
+			next = out.peer.owner
+		}
+		path = append(path, next.ID())
+		cur = next
+		if len(path) > len(n.nodes) {
+			return nil // loop: broken routing
+		}
+	}
+	return path
+}

@@ -1,0 +1,107 @@
+package netem
+
+import (
+	"expresspass/internal/packet"
+	"expresspass/internal/unit"
+)
+
+// PFCConfig enables IEEE 802.1Qbb priority flow control on a port's
+// ingress: when the data buffered *from* an upstream link (counted from
+// arrival until it departs some egress of this node) exceeds XOff, a
+// PAUSE is signalled to the upstream transmitter; once it drains below
+// XOn, a RESUME follows. PFC gives losslessness to reactive protocols
+// (DCQCN's deployment requirement) at the price of head-of-line
+// blocking and congestion spreading — the comparison point §1 draws
+// against ExpressPass, which needs no PFC.
+//
+// Only the data class is paused; ExpressPass credits (and control
+// frames) ride the credit class and keep flowing, mirroring PFC's
+// per-priority semantics.
+type PFCConfig struct {
+	XOff unit.Bytes // pause threshold (default 64 KB)
+	XOn  unit.Bytes // resume threshold (default XOff/2)
+}
+
+func (c PFCConfig) withDefaults() PFCConfig {
+	if c.XOff == 0 {
+		c.XOff = 64 * unit.KB
+	}
+	if c.XOn == 0 {
+		c.XOn = c.XOff / 2
+	}
+	return c
+}
+
+// pfcState tracks one port's ingress accounting (on the receiving
+// node's port for that link) and its egress pause state.
+type pfcState struct {
+	cfg PFCConfig
+
+	// ingressBytes counts data that arrived over this port's link and
+	// has not yet departed an egress of this node.
+	ingressBytes unit.Bytes
+	pauseSent    bool
+
+	// Pauses counts PAUSE frames signalled upstream (diagnostics).
+	Pauses uint64
+}
+
+// pfcOnArrival accounts an arriving data packet against the ingress
+// port's buffer and signals PAUSE when crossing XOff. in is the
+// receiving node's port on the arrival link.
+func (in *Port) pfcOnArrival(pkt *packet.Packet) {
+	st := in.pfc
+	if st == nil || pkt.Kind != packet.Data {
+		return
+	}
+	st.ingressBytes += pkt.Wire
+	pkt.PFCIngress = int32(in.global) + 1
+	if !st.pauseSent && st.ingressBytes > st.cfg.XOff {
+		st.pauseSent = true
+		st.Pauses++
+		upstream := in.peer
+		// PAUSE frames are tiny and bypass queues; model as a control
+		// signal delivered after one propagation delay.
+		in.eng.After(in.cfg.Delay, func() { upstream.setDataPaused(true) })
+	}
+}
+
+// pfcOnDepart releases the ingress accounting when the packet leaves
+// any egress of the node it was buffered at.
+func (p *Port) pfcOnDepart(pkt *packet.Packet) {
+	if pkt.PFCIngress == 0 {
+		return
+	}
+	idx := int(pkt.PFCIngress - 1)
+	pkt.PFCIngress = 0
+	if p.net == nil || idx >= len(p.net.ports) {
+		return
+	}
+	in := p.net.ports[idx]
+	st := in.pfc
+	if st == nil {
+		return
+	}
+	st.ingressBytes -= pkt.Wire
+	if st.pauseSent && st.ingressBytes < st.cfg.XOn {
+		st.pauseSent = false
+		upstream := in.peer
+		in.eng.After(in.cfg.Delay, func() { upstream.setDataPaused(false) })
+	}
+}
+
+// setDataPaused gates the egress data class (credits keep flowing).
+func (p *Port) setDataPaused(paused bool) {
+	p.dataPaused = paused
+	if !paused {
+		p.kick()
+	}
+}
+
+// PFCPauses returns the number of PAUSE events this ingress generated.
+func (p *Port) PFCPauses() uint64 {
+	if p.pfc == nil {
+		return 0
+	}
+	return p.pfc.Pauses
+}

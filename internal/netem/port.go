@@ -1,0 +1,340 @@
+package netem
+
+import (
+	"fmt"
+
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// PortConfig controls one egress port (one direction of a link).
+type PortConfig struct {
+	Rate  unit.Rate    // line rate
+	Delay sim.Duration // propagation delay to the peer
+
+	// DataCapacity is the drop-tail byte budget for the data class.
+	// Zero means unbounded (hosts use a large default).
+	DataCapacity unit.Bytes
+
+	// CreditQueueCap is the credit-class budget in packets (§3.1 buffer
+	// carving, 4–8). Zero disables the credit class entirely: credits are
+	// then treated as data (used by non-ExpressPass experiments).
+	CreditQueueCap int
+
+	// CreditBurst is the credit token bucket size in bytes; defaults to
+	// two maximum-size credit packets.
+	CreditBurst unit.Bytes
+
+	// CreditRatio is the fraction of capacity metered to credits;
+	// defaults to unit.CreditRatio (≈5.18%).
+	CreditRatio float64
+
+	// ECNThreshold marks CE on data packets when the instantaneous data
+	// queue exceeds this many bytes (DCTCP K). Zero disables marking.
+	ECNThreshold unit.Bytes
+
+	// CreditTailDrop switches the credit queue to plain drop-tail (the
+	// arriving credit is always the victim), disabling random-victim
+	// replacement. Commodity switches behave this way; the paper relies
+	// on pacing jitter + randomized credit sizes to de-synchronize
+	// drops on such queues. Used by the Fig 6 jitter ablation.
+	CreditTailDrop bool
+
+	// CreditClasses, when non-empty, splits the credit class into QoS
+	// classes (§7): strict priority across Priority levels, weighted
+	// deficit-round-robin within a level, all sharing the one credit
+	// token bucket. Packets select a class via packet.Class.
+	CreditClasses []CreditClassConfig
+
+	// RED enables probabilistic ECN marking between two thresholds
+	// (DCQCN-style), instead of the step marking of ECNThreshold.
+	RED *REDConfig
+
+	// RCP enables per-port explicit rate computation.
+	RCP *RCPConfig
+
+	// Phantom enables a HULL phantom queue on this port.
+	Phantom *PhantomConfig
+
+	// PFC enables priority flow control on this link's ingress.
+	PFC *PFCConfig
+}
+
+func (c PortConfig) withDefaults() PortConfig {
+	if c.CreditRatio == 0 {
+		c.CreditRatio = unit.CreditRatio
+	}
+	if c.CreditBurst == 0 {
+		c.CreditBurst = 2 * (unit.MinFrame + 8) // two max-size (92 B) credits
+	}
+	return c
+}
+
+// Port is the egress side of one simplex channel from its owner node to
+// the peer node. It owns the data and credit queues, the credit rate
+// limiter, and the transmitter.
+type Port struct {
+	eng    *sim.Engine
+	owner  Node
+	peer   *Port
+	net    *Network
+	cfg    PortConfig
+	name   string
+	index  int // position in owner's port list
+	global int // position in the network's port list
+
+	data   dataQueue
+	credit creditQueue
+	sched  *creditScheduler // non-nil when CreditClasses configured
+	bucket tokenBucket
+
+	rcp     *rcpMeter
+	phantom *phantomQueue
+	pfc     *pfcState
+
+	busy       bool
+	failed     bool
+	dataPaused bool
+	wake       sim.EventID
+
+	// Counters for utilization accounting.
+	TxPackets     uint64
+	TxBytes       unit.Bytes
+	TxDataBytes   unit.Bytes // wire bytes of data-class transmissions
+	TxPayload     unit.Bytes // application payload bytes transmitted
+	TxCreditBytes unit.Bytes
+	TxCreditPkts  uint64
+	txCreditClass []uint64
+}
+
+func newPort(eng *sim.Engine, owner Node, cfg PortConfig, name string) *Port {
+	cfg = cfg.withDefaults()
+	p := &Port{eng: eng, owner: owner, cfg: cfg, name: name}
+	p.data.cap = cfg.DataCapacity
+	p.credit.cap = cfg.CreditQueueCap
+	if len(cfg.CreditClasses) > 0 {
+		p.sched = newCreditScheduler(cfg.CreditClasses, cfg.CreditQueueCap)
+		p.txCreditClass = make([]uint64, len(cfg.CreditClasses))
+	}
+	p.bucket = newTokenBucket(cfg.Rate.Scale(cfg.CreditRatio), cfg.CreditBurst)
+	if cfg.RCP != nil {
+		p.rcp = newRCPMeter(eng, cfg.Rate, *cfg.RCP)
+	}
+	if cfg.Phantom != nil {
+		p.phantom = newPhantomQueue(cfg.Rate, *cfg.Phantom)
+	}
+	if cfg.PFC != nil {
+		p.pfc = &pfcState{cfg: cfg.PFC.withDefaults()}
+	}
+	return p
+}
+
+// Name returns the port's diagnostic name ("src->dst").
+func (p *Port) Name() string { return p.name }
+
+// Peer returns the port on the far side of the link.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Owner returns the node this egress port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// Rate returns the configured line rate.
+func (p *Port) Rate() unit.Rate { return p.cfg.Rate }
+
+// PropDelay returns the propagation delay to the peer.
+func (p *Port) PropDelay() sim.Duration { return p.cfg.Delay }
+
+// Config returns the port configuration.
+func (p *Port) Config() PortConfig { return p.cfg }
+
+// DataQueueBytes returns the instantaneous data-class occupancy.
+func (p *Port) DataQueueBytes() unit.Bytes { return p.data.curBytes() }
+
+// CreditQueueLen returns the instantaneous credit-class occupancy
+// (summed over classes when multiple are configured).
+func (p *Port) CreditQueueLen() int {
+	if p.sched != nil {
+		return p.sched.len()
+	}
+	return p.credit.len()
+}
+
+// CreditDrops returns total credit drops across all classes.
+func (p *Port) CreditDrops() uint64 {
+	if p.sched != nil {
+		return p.sched.drops()
+	}
+	return p.credit.stats.Drops
+}
+
+// creditEmpty reports whether any credit is queued.
+func (p *Port) creditEmpty() bool {
+	if p.sched != nil {
+		return p.sched.empty()
+	}
+	return p.credit.empty()
+}
+
+// creditPop dequeues the next credit per the class policy.
+func (p *Port) creditPop(now sim.Time) *packet.Packet {
+	if p.sched != nil {
+		return p.sched.pop(now)
+	}
+	return p.credit.pop(now)
+}
+
+// DataStats returns a pointer to the data-queue statistics.
+func (p *Port) DataStats() *QueueStats { return &p.data.stats }
+
+// CreditStats returns a pointer to the credit-queue statistics.
+func (p *Port) CreditStats() *QueueStats { return &p.credit.stats }
+
+// ResetStats restarts occupancy averaging and zeroes counters, so an
+// experiment can ignore its warm-up phase.
+func (p *Port) ResetStats() {
+	now := p.eng.Now()
+	p.data.stats = QueueStats{}
+	p.data.stats.ResetWindow(now)
+	p.credit.stats = QueueStats{}
+	p.credit.stats.ResetWindow(now)
+	p.TxPackets, p.TxBytes, p.TxDataBytes, p.TxPayload = 0, 0, 0, 0
+	p.TxCreditBytes, p.TxCreditPkts = 0, 0
+}
+
+// Enqueue places pkt on the appropriate egress class, applying drop-tail,
+// ECN marking, RCP stamping, and phantom-queue marking. The port takes
+// ownership of pkt (dropped packets are recycled).
+func (p *Port) Enqueue(pkt *packet.Packet) {
+	now := p.eng.Now()
+	if pkt.IsCredit() && (p.sched != nil || p.credit.cap > 0) {
+		var rng *sim.Rand
+		if !p.cfg.CreditTailDrop {
+			rng = p.eng.Rand()
+		}
+		var ok bool
+		if p.sched != nil {
+			ok = p.sched.push(now, pkt, rng)
+		} else {
+			ok = p.credit.push(now, pkt, rng)
+		}
+		if !ok {
+			packet.Put(pkt) // credit overflow: dropped by the rate limiter class
+		}
+		p.kick()
+		return
+	}
+	if p.phantom != nil && pkt.Kind == packet.Data {
+		p.phantom.onArrival(now, pkt)
+	}
+	if p.cfg.ECNThreshold > 0 && pkt.ECNCapable && pkt.Kind == packet.Data &&
+		p.data.curBytes()+pkt.Wire > p.cfg.ECNThreshold {
+		pkt.CE = true
+	}
+	if p.cfg.RED != nil && pkt.ECNCapable && pkt.Kind == packet.Data {
+		p.cfg.RED.mark(p.data.curBytes(), pkt, p.eng.Rand())
+	}
+	if p.rcp != nil && pkt.Kind == packet.Data {
+		p.rcp.onArrival(now, pkt, p.data.curBytes())
+	}
+	if !p.data.push(now, pkt) {
+		p.pfcOnDepart(pkt) // dropped: release ingress accounting
+		packet.Put(pkt)
+	}
+	p.kick()
+}
+
+// kick starts the transmitter if it is idle and a packet is eligible.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	now := p.eng.Now()
+	// Credits get strict priority when the token bucket allows; the
+	// bucket caps them to CreditRatio of capacity so data is never
+	// starved beyond the reserved share. Each credit is charged its
+	// nominal MinFrame cost regardless of its randomized wire size, so
+	// size randomization (§3.1) does not shave the credited data rate:
+	// one credit must keep authorizing one MTU of returning data.
+	if !p.creditEmpty() && p.bucket.have(now, unit.MinFrame) {
+		p.bucket.take(unit.MinFrame)
+		p.transmit(p.creditPop(now))
+		return
+	}
+	if !p.data.empty() && !p.dataPaused {
+		p.wake.Cancel()
+		p.transmit(p.data.pop(now))
+		return
+	}
+	if !p.creditEmpty() {
+		// Only credits are waiting; wake when tokens accrue.
+		if !p.wake.Pending() {
+			at := p.bucket.readyAt(now, unit.MinFrame)
+			p.wake = p.eng.At(at, p.kick)
+		}
+	}
+}
+
+func (p *Port) transmit(pkt *packet.Packet) {
+	p.busy = true
+	tx := unit.TxTime(pkt.Wire, p.cfg.Rate)
+	p.TxPackets++
+	p.TxBytes += pkt.Wire
+	switch pkt.Kind {
+	case packet.Data:
+		p.TxDataBytes += pkt.Wire
+		p.TxPayload += pkt.Payload
+	case packet.Credit:
+		p.TxCreditBytes += pkt.Wire
+		p.TxCreditPkts++
+		if p.txCreditClass != nil {
+			ci := int(pkt.Class)
+			if ci >= len(p.txCreditClass) {
+				ci = len(p.txCreditClass) - 1
+			}
+			p.txCreditClass[ci]++
+		}
+	}
+	p.pfcOnDepart(pkt)
+	done := p.eng.Now() + tx
+	p.eng.At(done, func() {
+		p.busy = false
+		p.kick()
+	})
+	pkt.Hops++
+	arrive := done + p.cfg.Delay
+	peer := p.peer
+	p.eng.At(arrive, func() {
+		peer.pfcOnArrival(pkt)
+		peer.owner.Deliver(pkt, peer)
+	})
+}
+
+func (p *Port) String() string {
+	return fmt.Sprintf("port(%s %v)", p.name, p.cfg.Rate)
+}
+
+// Fail marks this egress direction as failed. Routing recomputation
+// (Network.BuildRoutes) excludes the whole link — both directions — so
+// credits and data never split across a half-broken link (§3.1:
+// symmetric routing "requires a mechanism to exclude links that fail
+// unidirectionally").
+func (p *Port) Fail() { p.failed = true }
+
+// Restore clears a failure.
+func (p *Port) Restore() { p.failed = false }
+
+// Failed reports whether this direction is marked failed.
+func (p *Port) Failed() bool { return p.failed }
+
+// Usable reports whether the link is healthy in both directions.
+func (p *Port) Usable() bool { return !p.failed && !p.peer.failed }
+
+// RCPRate returns the port's current explicit RCP rate (0 when RCP is
+// not enabled on this port).
+func (p *Port) RCPRate() unit.Rate {
+	if p.rcp == nil {
+		return 0
+	}
+	return p.rcp.rate
+}

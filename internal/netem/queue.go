@@ -1,0 +1,226 @@
+// Package netem implements the simulated network elements: links with
+// serialization and propagation delay, drop-tail data queues with optional
+// ECN / RCP / phantom-queue features, the ExpressPass credit queue with
+// its token-bucket rate limiter, switches with symmetric-hash ECMP, and
+// hosts with a credit-processing delay model.
+package netem
+
+import (
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// QueueStats tracks occupancy and drop statistics for one queue. Average
+// occupancy is time-weighted (integral of bytes over time / elapsed).
+type QueueStats struct {
+	Drops     uint64
+	DropBytes unit.Bytes
+	Enqueued  uint64
+	MaxBytes  unit.Bytes
+	MaxPkts   int
+
+	integral   float64 // byte·picoseconds
+	lastChange sim.Time
+	openedAt   sim.Time
+}
+
+func (s *QueueStats) account(now sim.Time, curBytes unit.Bytes) {
+	if now > s.lastChange {
+		s.integral += float64(curBytes) * float64(now-s.lastChange)
+		s.lastChange = now
+	}
+}
+
+// AvgBytes returns the time-weighted average occupancy up to now.
+func (s *QueueStats) AvgBytes(now sim.Time, curBytes unit.Bytes) float64 {
+	s.account(now, curBytes)
+	if now <= s.openedAt {
+		return 0
+	}
+	return s.integral / float64(now-s.openedAt)
+}
+
+// ResetWindow restarts the averaging window at now (max is kept).
+func (s *QueueStats) ResetWindow(now sim.Time) {
+	s.integral = 0
+	s.lastChange = now
+	s.openedAt = now
+}
+
+// dataQueue is a byte-capacity drop-tail FIFO for the data class.
+type dataQueue struct {
+	pkts  []*packet.Packet
+	head  int
+	bytes unit.Bytes
+	cap   unit.Bytes
+	stats QueueStats
+}
+
+func (q *dataQueue) len() int             { return len(q.pkts) - q.head }
+func (q *dataQueue) empty() bool          { return q.len() == 0 }
+func (q *dataQueue) curBytes() unit.Bytes { return q.bytes }
+
+// push appends p if it fits; returns false (drop) otherwise.
+func (q *dataQueue) push(now sim.Time, p *packet.Packet) bool {
+	if q.cap > 0 && q.bytes+p.Wire > q.cap {
+		q.stats.Drops++
+		q.stats.DropBytes += p.Wire
+		return false
+	}
+	q.stats.account(now, q.bytes)
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Wire
+	q.stats.Enqueued++
+	if q.bytes > q.stats.MaxBytes {
+		q.stats.MaxBytes = q.bytes
+	}
+	if n := q.len(); n > q.stats.MaxPkts {
+		q.stats.MaxPkts = n
+	}
+	return true
+}
+
+func (q *dataQueue) pop(now sim.Time) *packet.Packet {
+	if q.empty() {
+		return nil
+	}
+	q.stats.account(now, q.bytes)
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Wire
+	// Compact once the dead prefix dominates, amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// creditQueue is a tiny packet-count-capacity FIFO for the credit class
+// (buffer carving per §3.1: a fixed budget of 4–8 credit packets).
+//
+// On overflow the victim is chosen uniformly at random among the queued
+// credits and the arrival. The paper achieves the same uniform-random
+// credit dropping on commodity drop-tail queues by randomizing credit
+// sizes (84–92 B), which perturbs the metering schedule; with the
+// simulator's exact nominal metering that perturbation is too weak to
+// break phase lock between a full-rate flow and the drain clock, so the
+// randomness is applied at the drop decision itself — the equivalence is
+// that drops land uniformly across interleaved credit streams (§3.1
+// "Ensuring fair credit drop").
+type creditQueue struct {
+	pkts  []*packet.Packet
+	head  int
+	cap   int
+	bytes unit.Bytes
+	stats QueueStats
+}
+
+func (q *creditQueue) len() int    { return len(q.pkts) - q.head }
+func (q *creditQueue) empty() bool { return q.len() == 0 }
+
+// push enqueues p, applying random-victim drop when full (or plain
+// drop-tail when rng is nil): when the queue displaces a queued credit,
+// that victim is recycled and p takes its slot.
+func (q *creditQueue) push(now sim.Time, p *packet.Packet, rng *sim.Rand) bool {
+	if q.cap > 0 && q.len() >= q.cap {
+		q.stats.Drops++
+		victim := q.len() // drop-tail default: the arrival is the victim
+		if rng != nil {
+			victim = rng.Intn(q.len() + 1)
+		}
+		if victim == q.len() {
+			q.stats.DropBytes += p.Wire
+			return false
+		}
+		old := q.pkts[q.head+victim]
+		q.stats.DropBytes += old.Wire
+		q.bytes += p.Wire - old.Wire
+		q.pkts[q.head+victim] = p
+		packet.Put(old)
+		q.stats.Enqueued++
+		return true
+	}
+	q.stats.account(now, q.bytes)
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Wire
+	q.stats.Enqueued++
+	if q.bytes > q.stats.MaxBytes {
+		q.stats.MaxBytes = q.bytes
+	}
+	if n := q.len(); n > q.stats.MaxPkts {
+		q.stats.MaxPkts = n
+	}
+	return true
+}
+
+func (q *creditQueue) peek() *packet.Packet {
+	if q.empty() {
+		return nil
+	}
+	return q.pkts[q.head]
+}
+
+func (q *creditQueue) pop(now sim.Time) *packet.Packet {
+	if q.empty() {
+		return nil
+	}
+	q.stats.account(now, q.bytes)
+	p := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	q.bytes -= p.Wire
+	if q.head > 16 && q.head*2 >= len(q.pkts) {
+		n := copy(q.pkts, q.pkts[q.head:])
+		q.pkts = q.pkts[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// tokenBucket meters the credit class to a fixed fraction of link
+// capacity (maximum-bandwidth metering in §3.1). Tokens are bytes.
+type tokenBucket struct {
+	rate   unit.Rate  // token accrual in bits/sec
+	burst  unit.Bytes // bucket capacity
+	tokens float64    // current bytes
+	last   sim.Time
+}
+
+func newTokenBucket(rate unit.Rate, burst unit.Bytes) tokenBucket {
+	return tokenBucket{rate: rate, burst: burst, tokens: float64(burst)}
+}
+
+func (b *tokenBucket) refill(now sim.Time) {
+	if now <= b.last {
+		return
+	}
+	b.tokens += float64(now-b.last) * float64(b.rate) / 8 / float64(sim.Second)
+	if b.tokens > float64(b.burst) {
+		b.tokens = float64(b.burst)
+	}
+	b.last = now
+}
+
+// have reports whether n bytes of tokens are available at now.
+func (b *tokenBucket) have(now sim.Time, n unit.Bytes) bool {
+	b.refill(now)
+	return b.tokens >= float64(n)
+}
+
+// take consumes n bytes of tokens (caller must have checked have).
+func (b *tokenBucket) take(n unit.Bytes) { b.tokens -= float64(n) }
+
+// readyAt returns the earliest time n bytes of tokens will be available.
+func (b *tokenBucket) readyAt(now sim.Time, n unit.Bytes) sim.Time {
+	b.refill(now)
+	deficit := float64(n) - b.tokens
+	if deficit <= 0 {
+		return now
+	}
+	ps := deficit * 8 * float64(sim.Second) / float64(b.rate)
+	return now + sim.Duration(ps) + 1
+}

@@ -1,0 +1,111 @@
+package netem
+
+import (
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// RCPConfig parameterizes the per-port RCP rate computation (Dukkipati,
+// "Rate Control Protocol"). Alpha weights the spare-capacity term and Beta
+// the queue-drain term of the explicit rate update.
+type RCPConfig struct {
+	Alpha float64      // default 0.4
+	Beta  float64      // default 0.226
+	RTT   sim.Duration // the d̄ estimate used by the controller
+}
+
+func (c RCPConfig) withDefaults() RCPConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.4
+	}
+	if c.Beta == 0 {
+		c.Beta = 0.226
+	}
+	if c.RTT == 0 {
+		c.RTT = 100 * sim.Microsecond
+	}
+	return c
+}
+
+// rcpMeter computes one explicit fair rate per egress port:
+//
+//	R ← R·(1 + (T/d̄)·(α·(C − y) − β·q/d̄)/C)
+//
+// where y is the measured input rate over the last interval T and q the
+// instantaneous queue. Every data packet is stamped with the minimum R
+// along its path; receivers echo it back to the sender.
+type rcpMeter struct {
+	cfg      RCPConfig
+	capacity unit.Rate
+	rate     unit.Rate
+	arrived  unit.Bytes // bytes arrived this interval
+	// minQueue is the smallest occupancy observed this interval: the
+	// persistent (standing) queue. Using the instantaneous queue would
+	// read transient bursts as standing backlog and crater the rate.
+	minQueue   unit.Bytes
+	sawArrival bool
+	interval   sim.Duration
+}
+
+func newRCPMeter(eng *sim.Engine, capacity unit.Rate, cfg RCPConfig) *rcpMeter {
+	cfg = cfg.withDefaults()
+	m := &rcpMeter{cfg: cfg, capacity: capacity, rate: capacity, interval: cfg.RTT}
+	var tick func()
+	tick = func() {
+		m.update()
+		eng.After(m.interval, tick)
+	}
+	eng.After(m.interval, tick)
+	return m
+}
+
+func (m *rcpMeter) update() {
+	c := float64(m.capacity)
+	y := float64(m.arrived) * 8 / m.interval.Seconds()
+	m.arrived = 0
+	var q float64
+	if m.sawArrival {
+		q = float64(m.minQueue) * 8 // bits of standing queue
+	}
+	m.sawArrival = false
+	d := m.cfg.RTT.Seconds()
+	t := m.interval.Seconds()
+	// Damping for the discrete sampled controller: the fluid-model
+	// stability of RCP assumes q on the order of a BDP and smooth rate
+	// evolution. A drop-tail queue capped at several BDPs would
+	// otherwise make the β-term crash R to the floor in one update and
+	// induce a full-amplitude limit cycle, so the standing-queue term
+	// is bounded at one BDP and each update moves R by at most 2× in
+	// either direction.
+	if bdp := c * d; q > bdp {
+		q = bdp
+	}
+	factor := 1 + (t/d)*(m.cfg.Alpha*(c-y)-m.cfg.Beta*q/d)/c
+	if factor < 0.5 {
+		factor = 0.5
+	}
+	if factor > 2 {
+		factor = 2
+	}
+	r := float64(m.rate) * factor
+	min := c / 1000
+	if r < min {
+		r = min
+	}
+	if r > c {
+		r = c
+	}
+	m.rate = unit.Rate(r)
+}
+
+func (m *rcpMeter) onArrival(_ sim.Time, pkt *packet.Packet, queueBytes unit.Bytes) {
+	m.arrived += pkt.Wire
+	if !m.sawArrival || queueBytes < m.minQueue {
+		m.minQueue = queueBytes
+	}
+	m.sawArrival = true
+	if pkt.RCPRate == 0 || m.rate < pkt.RCPRate {
+		pkt.RCPRate = m.rate
+	}
+}

@@ -1,0 +1,63 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPoolReturnsZeroedPackets(t *testing.T) {
+	p := Get()
+	p.Flow = 42
+	p.Seq = 7
+	p.CE = true
+	Put(p)
+	q := Get()
+	if q.Flow != 0 || q.Seq != 0 || q.CE {
+		t.Errorf("recycled packet not zeroed: %+v", q)
+	}
+	Put(q)
+}
+
+func TestIsCredit(t *testing.T) {
+	p := Get()
+	defer Put(p)
+	p.Kind = Credit
+	if !p.IsCredit() {
+		t.Error("credit not credit")
+	}
+	p.Kind = Data
+	if p.IsCredit() {
+		t.Error("data is credit")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Data: "data", Credit: "credit", Ack: "ack", Ctrl: "ctrl"} {
+		if k.String() != want {
+			t.Errorf("%d → %q", k, k.String())
+		}
+	}
+}
+
+func TestCtrlStrings(t *testing.T) {
+	if CtrlCreditRequest.String() != "CREDIT_REQUEST" || CtrlCreditStop.String() != "CREDIT_STOP" {
+		t.Error("ctrl strings")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := Get()
+	defer Put(p)
+	p.Kind = Credit
+	p.Flow = 3
+	p.Seq = 9
+	p.Wire = 84
+	if s := p.String(); !strings.Contains(s, "credit") || !strings.Contains(s, "seq=9") {
+		t.Errorf("credit string: %q", s)
+	}
+	p.Kind = Ctrl
+	p.Ctrl = CtrlCreditStop
+	if s := p.String(); !strings.Contains(s, "CREDIT_STOP") {
+		t.Errorf("ctrl string: %q", s)
+	}
+}

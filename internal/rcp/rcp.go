@@ -1,0 +1,41 @@
+// Package rcp implements the RCP sender (Dukkipati, "Rate Control
+// Protocol"): switches compute one explicit fair rate per link
+// (internal/netem's rcpMeter), stamp the path minimum into data packets,
+// receivers echo it on ACKs, and the sender simply paces at the echoed
+// rate. New flows start at the current fair rate, giving RCP its
+// signature instant ramp-up.
+package rcp
+
+import (
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// CC is the RCP policy for transport.Conn (ModePaced).
+type CC struct{}
+
+// New returns an RCP sender policy.
+func New() *CC { return &CC{} }
+
+// Init implements transport.CC.
+func (r *CC) Init(c *transport.Conn) {
+	if c.Cfg.Mode != transport.ModePaced {
+		panic("rcp: requires transport.ModePaced")
+	}
+}
+
+// OnAck implements transport.CC: adopt the echoed explicit rate.
+func (r *CC) OnAck(c *transport.Conn, _ unit.Bytes, ack *packet.Packet, _ sim.Duration) {
+	if ack.RCPRate > 0 {
+		c.PaceRate = ack.RCPRate
+	}
+}
+
+// OnFastRetransmit implements transport.CC (rate is router-controlled).
+func (r *CC) OnFastRetransmit(*transport.Conn) {}
+
+// OnTimeout implements transport.CC: RCP leaves rate control entirely to
+// the routers — the sender just retransmits at the explicit rate.
+func (r *CC) OnTimeout(*transport.Conn) {}

@@ -1,0 +1,226 @@
+package sim
+
+import "fmt"
+
+// Handler is a callback executed when an event fires.
+type Handler func()
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same timestamp so execution order is deterministic (FIFO among
+// equal-time events).
+type event struct {
+	at       Time
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// EventID identifies a scheduled event so it can be canceled. The seq
+// field guards against the engine's event-struct recycling: a stale ID
+// whose event already fired must never cancel the unrelated event that
+// now occupies the recycled struct.
+type EventID struct {
+	ev  *event
+	seq uint64
+}
+
+// Cancel marks the event so it will not run. Canceling an already-fired
+// or already-canceled event is a no-op. Returns true if it was pending.
+func (id EventID) Cancel() bool {
+	if id.ev == nil || id.ev.seq != id.seq || id.ev.canceled || id.ev.index < 0 {
+		return false
+	}
+	id.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to run.
+func (id EventID) Pending() bool {
+	return id.ev != nil && id.ev.seq == id.seq && !id.ev.canceled && id.ev.index >= 0
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; construct with New.
+//
+// The pending-event queue is a hand-rolled 4-ary min-heap ordered by
+// (time, seq): shallower than a binary heap and free of interface
+// dispatch, which matters because heap churn dominates the simulator's
+// CPU profile.
+type Engine struct {
+	now     Time
+	heap    []*event
+	nextSeq uint64
+	rng     *Rand
+	nEvents uint64 // executed events, for instrumentation
+	free    []*event
+}
+
+// New returns an engine at time zero whose RNG is seeded with seed.
+func New(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nEvents }
+
+// Pending returns the number of events currently queued (including
+// canceled-but-unpopped events).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// less orders events by (time, insertion sequence).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	ev := e.heap[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := e.heap[parent]
+		if !less(ev, p) {
+			break
+		}
+		e.heap[i] = p
+		p.index = i
+		i = parent
+	}
+	e.heap[i] = ev
+	ev.index = i
+}
+
+func (e *Engine) siftDown(i int) {
+	ev := e.heap[i]
+	n := len(e.heap)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !less(e.heap[best], ev) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.heap[i].index = i
+		i = best
+	}
+	e.heap[i] = ev
+	ev.index = i
+}
+
+func (e *Engine) push(ev *event) {
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// popMin removes and returns the earliest event.
+func (e *Engine) popMin() *event {
+	ev := e.heap[0]
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[0].index = 0
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a logic bug in a model.
+func (e *Engine) At(at Time, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", at, e.now))
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.canceled = false
+	e.nextSeq++
+	e.push(ev)
+	return EventID{ev, ev.seq}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d Duration, fn Handler) EventID { return e.At(e.now+d, fn) }
+
+// Step executes the next event. It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		ev := e.popMin()
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		e.recycle(ev)
+		e.nEvents++
+		fn()
+		return true
+	}
+	return false
+}
+
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	if len(e.free) < 4096 {
+		e.free = append(e.free, ev)
+	}
+}
+
+// Run executes events until the queue is exhausted.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline (if the simulation hasn't already passed it).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.canceled {
+			e.recycle(e.popMin())
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d of simulated time from now.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now + d) }

@@ -1,0 +1,61 @@
+package sim_test
+
+import (
+	"testing"
+
+	"expresspass/internal/sim"
+)
+
+// TestDeterminism: identical seeds must give bit-identical event counts
+// and final clocks for a nontrivial self-scheduling workload.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, sim.Time) {
+		eng := sim.New(77)
+		rng := eng.Rand()
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			if depth == 0 {
+				return
+			}
+			n := rng.Intn(3) + 1
+			for i := 0; i < n; i++ {
+				eng.After(sim.Duration(rng.Intn(1000)+1)*sim.Nanosecond, func() {
+					spawn(depth - 1)
+				})
+			}
+		}
+		spawn(8)
+		eng.Run()
+		return eng.Executed(), eng.Now()
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Errorf("nondeterministic: (%d, %v) vs (%d, %v)", e1, t1, e2, t2)
+	}
+	if e1 < 10 {
+		t.Errorf("workload degenerate: %d events", e1)
+	}
+}
+
+// TestTimerStorm exercises heavy cancel/reschedule churn (the pattern
+// ports and retransmission timers generate).
+func TestTimerStorm(t *testing.T) {
+	eng := sim.New(5)
+	fired := 0
+	var ids []sim.EventID
+	for i := 0; i < 10000; i++ {
+		id := eng.After(sim.Duration(i+1)*sim.Microsecond, func() { fired++ })
+		ids = append(ids, id)
+	}
+	// Cancel every other timer.
+	for i := 0; i < len(ids); i += 2 {
+		if !ids[i].Cancel() {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	eng.Run()
+	if fired != 5000 {
+		t.Errorf("fired %d, want 5000", fired)
+	}
+}

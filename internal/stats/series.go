@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"expresspass/internal/sim"
+)
+
+// Series records named time series sampled at a fixed interval — the
+// substrate for the paper's time-domain plots (per-flow throughput in
+// Figs 2/13/16, queue occupancy in Fig 13). Attach probes, call
+// Start(engine), run the simulation, then render with WriteCSV or
+// read the raw columns.
+type Series struct {
+	Interval sim.Duration
+
+	names  []string
+	probes []func() float64
+
+	times   []sim.Time
+	columns [][]float64
+
+	engine  *sim.Engine
+	stopped bool
+}
+
+// NewSeries returns a recorder sampling every interval.
+func NewSeries(interval sim.Duration) *Series {
+	return &Series{Interval: interval}
+}
+
+// Track registers a named probe; its value is recorded at every sample
+// tick. Probes must be registered before Start.
+func (s *Series) Track(name string, probe func() float64) {
+	s.names = append(s.names, name)
+	s.probes = append(s.probes, probe)
+	s.columns = append(s.columns, nil)
+}
+
+// Start schedules the periodic sampling on eng.
+func (s *Series) Start(eng *sim.Engine) {
+	s.engine = eng
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		s.sample()
+		eng.After(s.Interval, tick)
+	}
+	eng.After(s.Interval, tick)
+}
+
+// Stop ends sampling.
+func (s *Series) Stop() { s.stopped = true }
+
+func (s *Series) sample() {
+	s.times = append(s.times, s.engine.Now())
+	for i, probe := range s.probes {
+		s.columns[i] = append(s.columns[i], probe())
+	}
+}
+
+// Len returns the number of samples recorded.
+func (s *Series) Len() int { return len(s.times) }
+
+// Times returns the sample timestamps.
+func (s *Series) Times() []sim.Time { return s.times }
+
+// Column returns the samples of the named probe (nil if unknown).
+func (s *Series) Column(name string) []float64 {
+	for i, n := range s.names {
+		if n == name {
+			return s.columns[i]
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the series with a time_us column plus one column per
+// probe, suitable for plotting the paper's figures.
+func (s *Series) WriteCSV(w io.Writer) error {
+	header := append([]string{"time_us"}, s.names...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for row, t := range s.times {
+		cells := make([]string, 0, len(s.names)+1)
+		cells = append(cells, fmt.Sprintf("%.3f", t.Micros()))
+		for _, col := range s.columns {
+			cells = append(cells, fmt.Sprintf("%g", col[row]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RateProbe adapts a cumulative byte counter into a Gbps-per-interval
+// probe: each sample reports the delta since the previous sample.
+func RateProbe(interval sim.Duration, counter func() float64) func() float64 {
+	var last float64
+	return func() float64 {
+		cur := counter()
+		delta := cur - last
+		last = cur
+		return delta * 8 / interval.Seconds() / 1e9
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"expresspass/internal/sim"
+)
+
+func TestSeriesSamplesAtInterval(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeries(10 * sim.Microsecond)
+	v := 0.0
+	s.Track("v", func() float64 { v++; return v })
+	s.Start(eng)
+	eng.RunUntil(105 * sim.Microsecond)
+	if s.Len() != 10 {
+		t.Fatalf("samples = %d, want 10", s.Len())
+	}
+	col := s.Column("v")
+	if col[0] != 1 || col[9] != 10 {
+		t.Errorf("column: %v", col)
+	}
+	if s.Column("missing") != nil {
+		t.Error("unknown column not nil")
+	}
+	if s.Times()[0] != 10*sim.Microsecond {
+		t.Errorf("first sample at %v", s.Times()[0])
+	}
+}
+
+func TestSeriesStop(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeries(10 * sim.Microsecond)
+	s.Track("x", func() float64 { return 1 })
+	s.Start(eng)
+	eng.RunUntil(50 * sim.Microsecond)
+	s.Stop()
+	n := s.Len()
+	eng.RunUntil(200 * sim.Microsecond)
+	if s.Len() != n {
+		t.Error("sampling continued after Stop")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	eng := sim.New(1)
+	s := NewSeries(100 * sim.Microsecond)
+	s.Track("a", func() float64 { return 1.5 })
+	s.Track("b", func() float64 { return 2 })
+	s.Start(eng)
+	eng.RunUntil(300 * sim.Microsecond)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time_us,a,b" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Errorf("rows: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "100.000,1.5,2") {
+		t.Errorf("row 1: %q", lines[1])
+	}
+}
+
+func TestRateProbe(t *testing.T) {
+	total := 0.0
+	probe := RateProbe(sim.Millisecond, func() float64 { return total })
+	total = 125000 // 125 KB in 1 ms = 1 Gbps
+	if got := probe(); got < 0.99 || got > 1.01 {
+		t.Errorf("rate = %v Gbps, want 1", got)
+	}
+	total += 250000
+	if got := probe(); got < 1.99 || got > 2.01 {
+		t.Errorf("second delta = %v, want 2", got)
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// FlowSpec describes one flow to be created by an experiment driver:
+// host indexes (into the topology's host list), size, and start time.
+type FlowSpec struct {
+	Src, Dst int
+	Size     unit.Bytes
+	Start    sim.Time
+}
+
+// PoissonConfig drives the §6.3 realistic-workload generator.
+type PoissonConfig struct {
+	Hosts int       // number of hosts to pick src/dst from
+	Dist  *SizeDist // flow sizes
+	// Load is the target offered load as a fraction of RefRate.
+	Load float64
+	// RefRate is the capacity the load is defined against (the paper
+	// targets the ToR uplink layer's aggregate capacity).
+	RefRate unit.Rate
+	Flows   int      // number of flows to generate
+	Start   sim.Time // arrival process start
+}
+
+// Poisson generates Flows flows with exponential inter-arrivals sized so
+// offered load ≈ Load·RefRate, with uniform random src≠dst pairs.
+func Poisson(rng *sim.Rand, cfg PoissonConfig) []FlowSpec {
+	meanBits := float64(cfg.Dist.Mean()) * 8
+	lambda := cfg.Load * float64(cfg.RefRate) / meanBits // flows/sec
+	meanGap := sim.Duration(float64(sim.Second) / lambda)
+	specs := make([]FlowSpec, 0, cfg.Flows)
+	t := cfg.Start
+	for i := 0; i < cfg.Flows; i++ {
+		t += rng.ExpDuration(meanGap)
+		src := rng.Intn(cfg.Hosts)
+		dst := rng.Intn(cfg.Hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		specs = append(specs, FlowSpec{Src: src, Dst: dst, Size: cfg.Dist.Sample(rng), Start: t})
+	}
+	return specs
+}
+
+// IncastConfig drives the partition/aggregate generator of Fig 1: one
+// aggregator receives Fanout simultaneous worker responses per round.
+type IncastConfig struct {
+	Aggregator int        // host index receiving responses
+	Workers    []int      // host indexes of workers (excluding aggregator)
+	Fanout     int        // responses per round (workers reused if needed)
+	Response   unit.Bytes // bytes per response (paper: 1000 B)
+	Rounds     int
+	RoundGap   sim.Duration // time between request rounds
+	Start      sim.Time
+	// SpreadJitter staggers response starts within a round to model
+	// request fan-out serialization (default 0: perfectly synchronized).
+	SpreadJitter sim.Duration
+}
+
+// Incast expands the config into per-response flow specs. When Fanout
+// exceeds len(Workers), multiple responses share a worker host, matching
+// the paper's note that workers can share hosts.
+func Incast(rng *sim.Rand, cfg IncastConfig) []FlowSpec {
+	var specs []FlowSpec
+	t := cfg.Start
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < cfg.Fanout; i++ {
+			w := cfg.Workers[i%len(cfg.Workers)]
+			st := t
+			if cfg.SpreadJitter > 0 {
+				st += rng.Range(0, cfg.SpreadJitter)
+			}
+			specs = append(specs, FlowSpec{Src: w, Dst: cfg.Aggregator, Size: cfg.Response, Start: st})
+		}
+		t += cfg.RoundGap
+	}
+	return specs
+}
+
+// ShuffleConfig drives the MapReduce shuffle generator of Fig 17:
+// TasksPerHost tasks on each of Hosts hosts, every task sending Bytes to
+// every other task (including tasks co-located on other hosts).
+type ShuffleConfig struct {
+	Hosts        int
+	TasksPerHost int
+	Bytes        unit.Bytes // per task-pair transfer (paper: 1 MB)
+	Start        sim.Time
+	// StartJitter staggers flow starts slightly so the all-to-all burst
+	// isn't a single synchronized instant.
+	StartJitter sim.Duration
+}
+
+// Shuffle expands the config: host h sends (Hosts−1)·TasksPerHost²
+// flows, one per (local task, remote task) pair.
+func Shuffle(rng *sim.Rand, cfg ShuffleConfig) []FlowSpec {
+	var specs []FlowSpec
+	for src := 0; src < cfg.Hosts; src++ {
+		for dst := 0; dst < cfg.Hosts; dst++ {
+			if src == dst {
+				continue
+			}
+			for i := 0; i < cfg.TasksPerHost*cfg.TasksPerHost; i++ {
+				st := cfg.Start
+				if cfg.StartJitter > 0 {
+					st += rng.Range(0, cfg.StartJitter)
+				}
+				specs = append(specs, FlowSpec{Src: src, Dst: dst, Size: cfg.Bytes, Start: st})
+			}
+		}
+	}
+	return specs
+}
+
+// Permutation returns one long-running flow per host pair under a random
+// permutation (each host sends to exactly one other host).
+func Permutation(rng *sim.Rand, hosts int, size unit.Bytes, start sim.Time) []FlowSpec {
+	p := rng.Perm(hosts)
+	// Fix any self-mappings by swapping with a neighbor.
+	for i := 0; i < hosts; i++ {
+		if p[i] == i {
+			j := (i + 1) % hosts
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	specs := make([]FlowSpec, 0, hosts)
+	for i := 0; i < hosts; i++ {
+		specs = append(specs, FlowSpec{Src: i, Dst: p[i], Size: size, Start: start})
+	}
+	return specs
+}
