@@ -1,0 +1,32 @@
+# Developer convenience targets. The repo is pure standard library;
+# everything below is plain go tooling.
+
+GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
+
+.PHONY: check test bench fmt vet race
+
+## check: the pre-commit gate — vet, formatting, and the race-enabled
+## tests of the engine and instrumentation layer (the two packages with
+## the subtlest invariants). Run before every commit.
+check: vet
+	@unformatted=$$(gofmt -l $(GOFILES)); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	go test -race ./internal/sim/... ./internal/obs/...
+	@echo "check: OK"
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+fmt:
+	gofmt -w $(GOFILES)

@@ -23,9 +23,15 @@ import (
 )
 
 // benchExperiment runs one registered experiment per iteration and
-// reports simulated-events-style throughput via custom metrics.
+// reports engine throughput (sim-events/sec) and the peak event-heap
+// depth via custom metrics. An ObsRuntime with neither tracing nor
+// metrics output is installed purely for engine accounting, so the
+// per-packet hot paths still run their nil-tracer fast path.
 func benchExperiment(b *testing.B, id string, scale float64) {
 	b.Helper()
+	rt := expresspass.NewObsRuntime(expresspass.ObsConfig{})
+	expresspass.SetObsRuntime(rt)
+	defer expresspass.SetObsRuntime(nil)
 	var out bytes.Buffer
 	for i := 0; i < b.N; i++ {
 		out.Reset()
@@ -37,6 +43,11 @@ func benchExperiment(b *testing.B, id string, scale float64) {
 			b.Fatal(err)
 		}
 	}
+	events, peak := rt.EngineTotals()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)/sec, "sim-events/sec")
+	}
+	b.ReportMetric(float64(peak), "peak-heap")
 	if testing.Verbose() {
 		fmt.Printf("\n%s\n", out.String())
 	}
@@ -134,6 +145,7 @@ func BenchmarkEngineEvents(b *testing.B) {
 		expresspass.Dial(f, expresspass.Config{BaseRTT: 20 * expresspass.Microsecond})
 		eng.Run()
 		b.ReportMetric(float64(eng.Executed()), "events/op")
+		b.ReportMetric(float64(eng.MaxPending()), "peak-heap")
 	}
 }
 

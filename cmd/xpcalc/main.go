@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"expresspass/internal/netcalc"
+	"expresspass/internal/obs"
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
 )
@@ -44,7 +45,16 @@ func main() {
 	edgeUS := flag.Float64("edge", 1, "edge propagation delay (µs)")
 	coreUS := flag.Float64("core", 5, "core propagation delay (µs)")
 	ports := flag.Int("ports", 16, "ToR host/uplink ports (each)")
+	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
+
+	prof, err := obs.StartProfiles(*cpuProfile, *memProfile, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpcalc:", err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	hr, err := parseRate(*host)
 	if err != nil {

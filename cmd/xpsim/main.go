@@ -6,18 +6,34 @@
 //	xpsim -list
 //	xpsim [-scale 0.1] [-seed 42] fig15 fig16 table3
 //	xpsim -all
+//	xpsim -trace out.jsonl -metrics metrics.csv fig17
 //
 // Scale 1.0 reproduces the paper-scale configuration (hours of CPU);
 // the default scale runs laptop-fast shape checks.
+//
+// Observability flags (see internal/obs):
+//
+//	-trace FILE       record packet/credit/queue events (.csv → CSV,
+//	                  anything else → JSONL)
+//	-trace-types LIST comma-separated event types to record (default all;
+//	                  e.g. credit_drop,qdepth,feedback)
+//	-metrics FILE     long-format metrics CSV (t_us,scope,metric,value)
+//	-metrics-interval sampling period in simulated time (default 1ms)
+//	-cpuprofile FILE  Go CPU profile of the run
+//	-memprofile FILE  heap profile written at exit
+//	-pprof ADDR       serve net/http/pprof (e.g. localhost:6060)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"expresspass"
+	"expresspass/internal/obs"
+	"expresspass/internal/sim"
 )
 
 func main() {
@@ -25,6 +41,13 @@ func main() {
 	seed := flag.Uint64("seed", 42, "deterministic random seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	all := flag.Bool("all", false, "run every experiment")
+	tracePath := flag.String("trace", "", "write event trace to file (.csv or JSONL)")
+	traceTypes := flag.String("trace-types", "", "comma-separated event types to trace (default all)")
+	metricsPath := flag.String("metrics", "", "write metrics time-series CSV to file")
+	metricsIval := flag.Duration("metrics-interval", time.Millisecond, "metrics sampling period (simulated time)")
+	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memProfile := flag.String("memprofile", "", "write heap profile to file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
 
 	if *list {
@@ -45,13 +68,103 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: xpsim [-scale S] [-seed N] <experiment id>... | -all | -list")
 		os.Exit(2)
 	}
+
+	prof, err := obs.StartProfiles(*cpuProfile, *memProfile, *pprofAddr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+		os.Exit(1)
+	}
+	rt, err := buildRuntime(*tracePath, *traceTypes, *metricsPath, *metricsIval)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+		os.Exit(1)
+	}
+	if rt != nil {
+		obs.SetActive(rt)
+	}
+
 	params := expresspass.ExperimentParams{Scale: *scale, Seed: *seed}
+	code := 0
 	for _, id := range ids {
 		start := time.Now()
 		if err := expresspass.RunExperiment(id, params, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
-			os.Exit(1)
+			code = 1
+			break
 		}
 		fmt.Printf("   (%s wall)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+
+	if rt != nil {
+		obs.SetActive(nil)
+		if tr := rt.Tracer(); tr != nil {
+			events, peak := rt.EngineTotals()
+			fmt.Fprintf(os.Stderr, "xpsim: traced %d events (%d sim events, peak heap %d)\n",
+				tr.Count(), events, peak)
+		}
+		if err := rt.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+			code = 1
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// buildRuntime assembles the obs.Runtime for the requested outputs, or
+// returns nil when neither tracing nor metrics were asked for.
+func buildRuntime(tracePath, traceTypes, metricsPath string, ival time.Duration) (*obs.Runtime, error) {
+	var cfg obs.Config
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		var sink obs.Sink
+		if strings.HasSuffix(tracePath, ".csv") {
+			sink = obs.NewCSVSink(f)
+		} else {
+			sink = obs.NewJSONLSink(f)
+		}
+		types, err := parseEventTypes(traceTypes)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		cfg.Tracer = obs.NewTracer(sink, types...)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.MetricsOut = f
+		cfg.Interval = sim.FromStd(ival)
+	}
+	if cfg.Tracer == nil && cfg.MetricsOut == nil {
+		return nil, nil
+	}
+	return obs.NewRuntime(cfg), nil
+}
+
+func parseEventTypes(list string) ([]obs.EventType, error) {
+	if list == "" {
+		return nil, nil // nil = all types
+	}
+	var types []obs.EventType
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		ty, ok := obs.EventTypeByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown trace event type %q", name)
+		}
+		types = append(types, ty)
+	}
+	return types, nil
 }

@@ -35,6 +35,7 @@ import (
 	"expresspass/internal/core"
 	"expresspass/internal/experiments"
 	"expresspass/internal/netem"
+	"expresspass/internal/obs"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/transport"
@@ -83,6 +84,25 @@ type (
 	// Series records named time series (throughput, queue depth) at a
 	// fixed sampling interval and renders CSV for plotting.
 	Series = stats.Series
+
+	// Tracer records typed simulation events (credit drops, queue
+	// depth, feedback updates) to a sink; attach with Network.SetTracer
+	// or process-wide via ObsRuntime.
+	Tracer = obs.Tracer
+	// TraceEvent is one trace record.
+	TraceEvent = obs.Event
+	// TraceEventType classifies a trace event.
+	TraceEventType = obs.EventType
+	// Metrics is an ordered registry of counters, gauges, and
+	// histograms snapshotable mid-run.
+	Metrics = obs.Registry
+	// ObsRuntime is the process-wide instrumentation configuration
+	// (tracing + metrics CSV) networks pick up at construction.
+	ObsRuntime = obs.Runtime
+	// ObsConfig configures an ObsRuntime.
+	ObsConfig = obs.Config
+	// PortStats is a snapshot of one port's transmit/queue counters.
+	PortStats = netem.PortStats
 )
 
 // Common units, re-exported for convenience.
@@ -143,6 +163,35 @@ func RateProbe(interval Duration, counter func() float64) func() float64 {
 
 // JainIndex returns Jain's fairness index of the given allocations.
 func JainIndex(xs []float64) float64 { return stats.JainIndex(xs) }
+
+// NewTracer returns a tracer recording the given event types to sink
+// (no types = all). Build sinks with NewJSONLTraceSink / NewRingSink.
+func NewTracer(sink obs.Sink, types ...TraceEventType) *Tracer {
+	return obs.NewTracer(sink, types...)
+}
+
+// NewJSONLTraceSink returns a sink encoding events as JSON lines to w.
+func NewJSONLTraceSink(w io.Writer) obs.Sink { return obs.NewJSONLSink(w) }
+
+// NewRingSink returns an in-memory ring-buffer sink holding the last
+// capacity events (handy in tests).
+func NewRingSink(capacity int) *obs.RingSink { return obs.NewRingSink(capacity) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// EventTypeByName resolves a trace event type from its wire name
+// (e.g. "credit_drop"), as used by xpsim's -trace-types flag.
+func EventTypeByName(name string) (TraceEventType, bool) {
+	return obs.EventTypeByName(name)
+}
+
+// SetObsRuntime installs rt as the process-wide instrumentation runtime
+// (nil uninstalls); networks created afterwards wire themselves to it.
+func SetObsRuntime(rt *ObsRuntime) { obs.SetActive(rt) }
+
+// NewObsRuntime returns an instrumentation runtime for cfg.
+func NewObsRuntime(cfg ObsConfig) *ObsRuntime { return obs.NewRuntime(cfg) }
 
 // Experiment identifies one reproduced table or figure.
 type Experiment = experiments.Experiment

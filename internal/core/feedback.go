@@ -16,6 +16,11 @@ type Feedback struct {
 	Rate unit.Rate // current credit sending rate
 	W    float64   // aggressiveness factor
 
+	// OnUpdate, when non-nil, observes each Update after it completes
+	// (instrumentation hook; the controller itself stays a pure state
+	// machine). increased reports which branch of Algorithm 1 ran.
+	OnUpdate func(rate unit.Rate, w, loss float64, increased bool)
+
 	prevIncreasing bool
 }
 
@@ -67,6 +72,9 @@ func (f *Feedback) Update(creditLoss float64, fresh bool) unit.Rate {
 		f.prevIncreasing = false
 	}
 	f.clamp()
+	if f.OnUpdate != nil {
+		f.OnUpdate(f.Rate, f.W, creditLoss, f.prevIncreasing)
+	}
 	return f.Rate
 }
 

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"strconv"
+
 	"expresspass/internal/netem"
+	"expresspass/internal/obs"
 	"expresspass/internal/packet"
 	"expresspass/internal/sim"
 	"expresspass/internal/transport"
@@ -28,10 +31,43 @@ func Dial(f *transport.Flow, cfg Config) *Session {
 	s.snd = &sender{sess: s, host: f.Sender, eng: eng}
 	s.rcv = &receiver{sess: s, host: f.Receiver, eng: eng, rng: f.Receiver.Rand().Fork()}
 	s.rcv.fb = NewFeedback(cfg)
+	s.initObs()
 	f.Sender.Register(f.ID, s.snd)
 	f.Receiver.Register(f.ID, s.rcv)
 	eng.At(f.StartAt, s.snd.start)
 	return s
+}
+
+// initObs caches the network tracer on both endpoints (nil when tracing
+// is off — each emission site then costs one nil check) and registers
+// per-flow metrics when a registry is active.
+func (s *Session) initObs() {
+	f := s.Flow
+	if tr := f.Sender.Tracer(); tr != nil {
+		s.snd.trace = tr
+		s.rcv.trace = tr
+		if tr.Enabled(obs.EvFeedback) {
+			rcv := s.rcv
+			rcv.fb.OnUpdate = func(rate unit.Rate, w, loss float64, increased bool) {
+				tr.Emit(obs.Event{T: rcv.eng.Now(), Type: obs.EvFeedback,
+					Scope: f.Receiver.Name(), Flow: int64(f.ID),
+					Val: rate.Gbits(), Aux: w, Aux2: loss})
+			}
+		}
+	}
+	if r := f.Sender.Metrics(); r != nil {
+		// FCT histogram is shared across flows (one instrument), so it is
+		// not subject to the per-flow gauge budget.
+		s.rcv.fctHist = r.Histogram("flow/fct_ms", obs.FCTBoundsMS)
+	}
+	if fr := f.Sender.ClaimFlowMetrics(); fr != nil {
+		pre := "flow/" + strconv.FormatInt(int64(f.ID), 10) + "/"
+		fb, snd := s.rcv.fb, s.snd
+		fr.Gauge(pre+"rate_gbps", func() float64 { return fb.Rate.Gbits() })
+		fr.Gauge(pre+"w", func() float64 { return fb.W })
+		fr.Gauge(pre+"delivered_bytes", func() float64 { return float64(f.BytesDelivered) })
+		fr.Gauge(pre+"credits_wasted", func() float64 { return float64(snd.creditsWasted) })
+	}
 }
 
 // Stop tears the session down and unregisters both endpoints.
@@ -68,9 +104,10 @@ func (s *Session) W() float64 { return s.rcv.fb.W }
 // ---- sender ----
 
 type sender struct {
-	sess *Session
-	host *netem.Host
-	eng  *sim.Engine
+	sess  *Session
+	host  *netem.Host
+	eng   *sim.Engine
+	trace *obs.Tracer // nil when tracing is off
 
 	remaining unit.Bytes // bytes not yet credited for transmission
 	unbounded bool       // long-running flow (Size == 0)
@@ -132,6 +169,10 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 		return
 	}
 	sn.creditsIn++
+	if tr := sn.trace; tr != nil {
+		tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvCreditRecv,
+			Scope: sn.host.Name(), Flow: int64(p.Flow), Seq: p.Seq, Bytes: p.Wire})
+	}
 	sn.gotCredit = true
 	sn.reqTimer.Cancel()
 	if now := sn.eng.Now(); now-sn.winStart > sn.sess.Cfg.BaseRTT {
@@ -145,6 +186,10 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 
 	if !sn.unbounded && sn.remaining <= 0 {
 		sn.creditsWasted++
+		if tr := sn.trace; tr != nil {
+			tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvCreditWaste,
+				Scope: sn.host.Name(), Flow: int64(sn.sess.Flow.ID), Seq: creditSeq})
+		}
 		sn.maybeStop()
 		return
 	}
@@ -250,11 +295,13 @@ func (sn *sender) sendStop() {
 // ---- receiver ----
 
 type receiver struct {
-	sess *Session
-	host *netem.Host
-	eng  *sim.Engine
-	rng  *sim.Rand
-	fb   *Feedback
+	sess    *Session
+	host    *netem.Host
+	eng     *sim.Engine
+	rng     *sim.Rand
+	fb      *Feedback
+	trace   *obs.Tracer    // nil when tracing is off
+	fctHist *obs.Histogram // nil when metrics are off
 
 	active      bool
 	creditTimer sim.EventID
@@ -332,6 +379,12 @@ func (rc *receiver) sendCredit() {
 	}
 	c.Wire = size
 	rc.creditsSent++
+	// Emit before Send: the port takes ownership of c and may recycle it.
+	if tr := rc.trace; tr != nil {
+		tr.Emit(obs.Event{T: rc.eng.Now(), Type: obs.EvCreditSent,
+			Scope: rc.host.Name(), Flow: int64(c.Flow), Seq: c.Seq, Bytes: size,
+			Val: rc.fb.Rate.Gbits(), Aux: rc.fb.W})
+	}
 	rc.host.Send(c)
 
 	// Pace by nominal credit size so size randomization doesn't lower
@@ -347,7 +400,12 @@ func (rc *receiver) sendCredit() {
 // onData accounts delivered bytes and updates the echo-gap loss counts.
 func (rc *receiver) onData(p *packet.Packet) {
 	now := rc.eng.Now()
-	rc.sess.Flow.Deliver(now, p.Payload)
+	f := rc.sess.Flow
+	wasFinished := f.Finished
+	f.Deliver(now, p.Payload)
+	if h := rc.fctHist; h != nil && !wasFinished && f.Finished {
+		h.Observe(f.FCT().Seconds() * 1e3)
+	}
 	seq := p.CreditSeq
 	packet.Put(p)
 

@@ -352,7 +352,7 @@ func runFig9(p Params, w io.Writer) error {
 			meas := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
 			eng.RunFor(meas)
 			bn := st.DownPort(0)
-			util := float64(bn.TxDataBytes) * 8 / meas.Seconds() / float64(bn.Rate())
+			util := bn.DataUtilization(meas)
 			utils[fi] = append(utils[fi], util)
 			if util > best {
 				best = util

@@ -45,8 +45,7 @@ func runFig10(p Params, w io.Writer) error {
 			eng.RunFor(meas)
 			lowest := 1.0
 			for _, link := range pl.Links {
-				u := float64(link.TxDataBytes) * 8 / meas.Seconds() /
-					(float64(link.Rate()) * dataShare)
+				u := link.DataUtilization(meas) / dataShare
 				if u < lowest {
 					lowest = u
 				}
@@ -228,7 +227,7 @@ func runFig15(p Params, w io.Writer) error {
 			}
 			// Utilization measured at the bottleneck egress (wire bytes
 			// of data actually transmitted during the window).
-			util := float64(d.Bottleneck.TxDataBytes) * 8 / meas.Seconds() / 1e9
+			util := float64(d.Bottleneck.Stats().TxDataBytes) * 8 / meas.Seconds() / 1e9
 			tbl.Add(n, string(proto), util, stats.JainIndex(rates),
 				float64(d.Bottleneck.DataStats().MaxBytes)/1e3,
 				d.Net.TotalDataDrops(), timeouts())

@@ -37,7 +37,7 @@ func TestHULLSacrificesBandwidthForLatency(t *testing.T) {
 	eng.RunUntil(20 * sim.Millisecond)
 	d.Bottleneck.ResetStats()
 	eng.RunFor(30 * sim.Millisecond)
-	util := float64(d.Bottleneck.TxDataBytes) * 8 / 0.03 / 10e9
+	util := float64(d.Bottleneck.Stats().TxDataBytes) * 8 / 0.03 / 10e9
 	if util > 0.99 {
 		t.Errorf("utilization %.3f — phantom queue not biting", util)
 	}

@@ -205,7 +205,7 @@ func TestSprayingSpreadsPackets(t *testing.T) {
 		s1.Deliver(p, nil)
 	}
 	eng.Run()
-	ta, tb := la.TxPackets, lb.TxPackets
+	ta, tb := la.Stats().TxPackets, lb.Stats().TxPackets
 	if ta < 150 || tb < 150 {
 		t.Errorf("spray split %d/%d, want roughly even", ta, tb)
 	}

@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 
+	"expresspass/internal/obs"
 	"expresspass/internal/packet"
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
@@ -97,6 +98,16 @@ func (h *Host) NIC() *Port {
 
 // Rand returns the host's private random stream.
 func (h *Host) Rand() *sim.Rand { return h.rng }
+
+// Tracer returns the network's tracer, or nil when tracing is off.
+// Transport endpoints cache it at dial time and nil-check per emission.
+func (h *Host) Tracer() *obs.Tracer { return h.net.tracer }
+
+// Metrics returns the network's metrics registry, or nil.
+func (h *Host) Metrics() *obs.Registry { return h.net.metrics }
+
+// ClaimFlowMetrics forwards to Network.ClaimFlowMetrics.
+func (h *Host) ClaimFlowMetrics() *obs.Registry { return h.net.ClaimFlowMetrics() }
 
 // Engine returns the simulation engine.
 func (h *Host) Engine() *sim.Engine { return h.eng }

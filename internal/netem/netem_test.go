@@ -152,7 +152,7 @@ func TestCreditsDoNotStarveData(t *testing.T) {
 	}
 	emit()
 	eng.RunUntil(10 * sim.Millisecond)
-	dataRate := float64(ab.TxDataBytes) * 8 / 0.010
+	dataRate := float64(ab.Stats().TxDataBytes) * 8 / 0.010
 	// Data keeps ≈94.8% of the link.
 	if share := dataRate / 10e9; share < 0.93 || share > 0.96 {
 		t.Errorf("data share = %.3f, want ≈0.948", share)

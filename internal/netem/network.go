@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 
+	"expresspass/internal/obs"
 	"expresspass/internal/packet"
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
@@ -22,11 +23,26 @@ type Network struct {
 	ports    []*Port
 
 	nextFlow packet.FlowID
+
+	// Instrumentation (all nil/zero when observation is off, in which
+	// case the simulation pays nothing beyond one nil check per hook).
+	tracer          *obs.Tracer
+	metrics         *obs.Registry
+	rt              *obs.Runtime
+	scope           string
+	flowMetricsLeft int
 }
 
-// NewNetwork returns an empty network bound to eng.
+// NewNetwork returns an empty network bound to eng. If a process-wide
+// obs.Runtime is active (SetActive), the network wires itself to it:
+// tracer handed to every port, per-port metrics registered, and a
+// metrics sampler scheduled on eng.
 func NewNetwork(eng *sim.Engine) *Network {
-	return &Network{Eng: eng}
+	n := &Network{Eng: eng}
+	if rt := obs.Active(); rt != nil {
+		n.initObs(rt)
+	}
+	return n
 }
 
 // NewHost adds a host with the given delay model.
@@ -90,6 +106,11 @@ func (n *Network) Connect(a, b Node, cfg PortConfig) (ab, ba *Port) {
 	a.addPort(ab)
 	b.addPort(ba)
 	n.ports = append(n.ports, ab, ba)
+	ab.trace, ba.trace = n.tracer, n.tracer
+	if n.metrics != nil {
+		n.registerPortMetrics(ab)
+		n.registerPortMetrics(ba)
+	}
 	return ab, ba
 }
 

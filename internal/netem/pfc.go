@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"expresspass/internal/obs"
 	"expresspass/internal/packet"
 	"expresspass/internal/unit"
 )
@@ -59,6 +60,10 @@ func (in *Port) pfcOnArrival(pkt *packet.Packet) {
 	if !st.pauseSent && st.ingressBytes > st.cfg.XOff {
 		st.pauseSent = true
 		st.Pauses++
+		if tr := in.trace; tr != nil {
+			tr.Emit(obs.Event{T: in.eng.Now(), Type: obs.EvPFCPause,
+				Scope: in.name, Val: float64(st.ingressBytes)})
+		}
 		upstream := in.peer
 		// PAUSE frames are tiny and bypass queues; model as a control
 		// signal delivered after one propagation delay.
@@ -85,6 +90,10 @@ func (p *Port) pfcOnDepart(pkt *packet.Packet) {
 	st.ingressBytes -= pkt.Wire
 	if st.pauseSent && st.ingressBytes < st.cfg.XOn {
 		st.pauseSent = false
+		if tr := in.trace; tr != nil {
+			tr.Emit(obs.Event{T: in.eng.Now(), Type: obs.EvPFCResume,
+				Scope: in.name, Val: float64(st.ingressBytes)})
+		}
 		upstream := in.peer
 		in.eng.After(in.cfg.Delay, func() { upstream.setDataPaused(false) })
 	}

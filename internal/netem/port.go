@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 
+	"expresspass/internal/obs"
 	"expresspass/internal/packet"
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
@@ -98,14 +99,68 @@ type Port struct {
 	dataPaused bool
 	wake       sim.EventID
 
-	// Counters for utilization accounting.
-	TxPackets     uint64
-	TxBytes       unit.Bytes
+	// trace, when non-nil, receives per-packet events. The nil check at
+	// each emission site is the whole cost of disabled tracing.
+	trace *obs.Tracer
+
+	// Counters for utilization accounting; snapshot via Stats().
+	txPackets     uint64
+	txBytes       unit.Bytes
+	txDataBytes   unit.Bytes // wire bytes of data-class transmissions
+	txPayload     unit.Bytes // application payload bytes transmitted
+	txCreditBytes unit.Bytes
+	txCreditPkts  uint64
+	txCreditClass []uint64
+}
+
+// PortStats is a point-in-time snapshot of a port's transmit and queue
+// counters — the one sanctioned way to read them (the fields themselves
+// are private so experiments cannot bake in ad-hoc access patterns).
+type PortStats struct {
+	TxPackets     uint64     // frames transmitted (all classes)
+	TxBytes       unit.Bytes // wire bytes transmitted (all classes)
 	TxDataBytes   unit.Bytes // wire bytes of data-class transmissions
 	TxPayload     unit.Bytes // application payload bytes transmitted
-	TxCreditBytes unit.Bytes
-	TxCreditPkts  uint64
-	txCreditClass []uint64
+	TxCreditBytes unit.Bytes // wire bytes of credit transmissions
+	TxCreditPkts  uint64     // credit packets transmitted
+
+	DataDrops     uint64     // data-class drop-tail drops
+	DataDropBytes unit.Bytes // wire bytes dropped from the data class
+	CreditDrops   uint64     // credit-class drops (all classes)
+
+	DataQueueBytes    unit.Bytes // instantaneous data occupancy
+	DataQueueMaxBytes unit.Bytes // peak data occupancy since reset
+	CreditQueueLen    int        // instantaneous credit occupancy
+	PFCPauses         uint64     // PAUSE frames this ingress signalled
+}
+
+// Stats returns a snapshot of the port's counters.
+func (p *Port) Stats() PortStats {
+	return PortStats{
+		TxPackets:         p.txPackets,
+		TxBytes:           p.txBytes,
+		TxDataBytes:       p.txDataBytes,
+		TxPayload:         p.txPayload,
+		TxCreditBytes:     p.txCreditBytes,
+		TxCreditPkts:      p.txCreditPkts,
+		DataDrops:         p.data.stats.Drops,
+		DataDropBytes:     p.data.stats.DropBytes,
+		CreditDrops:       p.CreditDrops(),
+		DataQueueBytes:    p.data.curBytes(),
+		DataQueueMaxBytes: p.data.stats.MaxBytes,
+		CreditQueueLen:    p.CreditQueueLen(),
+		PFCPauses:         p.PFCPauses(),
+	}
+}
+
+// DataUtilization returns the fraction of line rate consumed by
+// data-class wire bytes over the trailing window (counted since the
+// last ResetStats).
+func (p *Port) DataUtilization(window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(p.txDataBytes) * 8 / window.Seconds() / float64(p.cfg.Rate)
 }
 
 func newPort(eng *sim.Engine, owner Node, cfg PortConfig, name string) *Port {
@@ -198,8 +253,8 @@ func (p *Port) ResetStats() {
 	p.data.stats.ResetWindow(now)
 	p.credit.stats = QueueStats{}
 	p.credit.stats.ResetWindow(now)
-	p.TxPackets, p.TxBytes, p.TxDataBytes, p.TxPayload = 0, 0, 0, 0
-	p.TxCreditBytes, p.TxCreditPkts = 0, 0
+	p.txPackets, p.txBytes, p.txDataBytes, p.txPayload = 0, 0, 0, 0
+	p.txCreditBytes, p.txCreditPkts = 0, 0
 }
 
 // Enqueue places pkt on the appropriate egress class, applying drop-tail,
@@ -212,6 +267,14 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 		if !p.cfg.CreditTailDrop {
 			rng = p.eng.Rand()
 		}
+		tr := p.trace
+		var dropsBefore uint64
+		var trFlow, trSeq int64
+		var trWire unit.Bytes
+		if tr != nil {
+			dropsBefore = p.CreditDrops()
+			trFlow, trSeq, trWire = int64(pkt.Flow), pkt.Seq, pkt.Wire
+		}
 		var ok bool
 		if p.sched != nil {
 			ok = p.sched.push(now, pkt, rng)
@@ -220,6 +283,14 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 		}
 		if !ok {
 			packet.Put(pkt) // credit overflow: dropped by the rate limiter class
+		}
+		if tr != nil {
+			qlen := float64(p.CreditQueueLen())
+			if p.CreditDrops() > dropsBefore {
+				tr.Emit(obs.Event{T: now, Type: obs.EvCreditDrop, Scope: p.name,
+					Flow: trFlow, Seq: trSeq, Bytes: trWire, Val: qlen})
+			}
+			tr.Emit(obs.Event{T: now, Type: obs.EvCreditQDepth, Scope: p.name, Val: qlen})
 		}
 		p.kick()
 		return
@@ -238,8 +309,19 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 		p.rcp.onArrival(now, pkt, p.data.curBytes())
 	}
 	if !p.data.push(now, pkt) {
+		if tr := p.trace; tr != nil {
+			tr.Emit(obs.Event{T: now, Type: obs.EvDataDrop, Scope: p.name,
+				Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire,
+				Val: float64(p.data.curBytes())})
+		}
 		p.pfcOnDepart(pkt) // dropped: release ingress accounting
 		packet.Put(pkt)
+	} else if tr := p.trace; tr != nil {
+		qb := float64(p.data.curBytes())
+		tr.Emit(obs.Event{T: now, Type: obs.EvDataEnq, Scope: p.name,
+			Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire, Val: qb})
+		tr.Emit(obs.Event{T: now, Type: obs.EvQueueDepth, Scope: p.name,
+			Val: qb, Aux: float64(p.data.len())})
 	}
 	p.kick()
 }
@@ -278,21 +360,33 @@ func (p *Port) kick() {
 func (p *Port) transmit(pkt *packet.Packet) {
 	p.busy = true
 	tx := unit.TxTime(pkt.Wire, p.cfg.Rate)
-	p.TxPackets++
-	p.TxBytes += pkt.Wire
+	p.txPackets++
+	p.txBytes += pkt.Wire
 	switch pkt.Kind {
 	case packet.Data:
-		p.TxDataBytes += pkt.Wire
-		p.TxPayload += pkt.Payload
+		p.txDataBytes += pkt.Wire
+		p.txPayload += pkt.Payload
 	case packet.Credit:
-		p.TxCreditBytes += pkt.Wire
-		p.TxCreditPkts++
+		p.txCreditBytes += pkt.Wire
+		p.txCreditPkts++
 		if p.txCreditClass != nil {
 			ci := int(pkt.Class)
 			if ci >= len(p.txCreditClass) {
 				ci = len(p.txCreditClass) - 1
 			}
 			p.txCreditClass[ci]++
+		}
+	}
+	if tr := p.trace; tr != nil {
+		if pkt.Kind == packet.Credit {
+			tr.Emit(obs.Event{T: p.eng.Now(), Type: obs.EvCreditQDepth,
+				Scope: p.name, Val: float64(p.CreditQueueLen())})
+		} else {
+			qb := float64(p.data.curBytes())
+			tr.Emit(obs.Event{T: p.eng.Now(), Type: obs.EvDataDeq, Scope: p.name,
+				Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire, Val: qb})
+			tr.Emit(obs.Event{T: p.eng.Now(), Type: obs.EvQueueDepth, Scope: p.name,
+				Val: qb, Aux: float64(p.data.len())})
 		}
 	}
 	p.pfcOnDepart(pkt)

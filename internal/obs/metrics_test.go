@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"expresspass/internal/sim"
+)
+
+func TestRegistryCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("drops")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %g, want 3", c.Value())
+	}
+	if again := r.Counter("drops"); again != c {
+		t.Error("Counter not idempotent by name")
+	}
+	x := 7.5
+	r.Gauge("depth", func() float64 { return x })
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].Name != "drops" || snap[0].Value != 3 {
+		t.Errorf("snap[0] = %+v", snap[0])
+	}
+	if snap[1].Name != "depth" || snap[1].Value != 7.5 {
+		t.Errorf("snap[1] = %+v", snap[1])
+	}
+	x = 9
+	if got := r.Snapshot()[1].Value; got != 9 {
+		t.Errorf("gauge not re-evaluated: %g", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fct_ms", []float64{1, 2, 5, 10})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	if h.Count() != 100 || h.Sum() != 150 {
+		t.Errorf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("p50 = %g, want within (1,2]", q)
+	}
+	h.Observe(100) // overflow bucket
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("p100 with overflow = %g, want clamp to top bound 10", q)
+	}
+	var empty Histogram
+	empty.bounds = []float64{1}
+	empty.counts = make([]uint64, 2)
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+	// Snapshot expansion.
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	want := "fct_ms/count fct_ms/sum fct_ms/p50 fct_ms/p99"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("histogram snapshot names = %q, want %q", got, want)
+	}
+}
+
+// TestStartSeries verifies the stats.Series bridge: metrics sampled
+// mid-run at a fixed interval, rendered as CSV.
+func TestStartSeries(t *testing.T) {
+	eng := sim.New(1)
+	r := NewRegistry()
+	c := r.Counter("events")
+	r.Gauge("now_us", func() float64 { return eng.Now().Micros() })
+
+	// Bump the counter every 100 µs for 1 ms of simulated time.
+	var work func()
+	work = func() {
+		c.Inc()
+		if eng.Now() < sim.Millisecond {
+			eng.After(100*sim.Microsecond, work)
+		}
+	}
+	eng.After(100*sim.Microsecond, work)
+
+	s := r.StartSeries(eng, 250*sim.Microsecond)
+	eng.RunUntil(sim.Millisecond)
+	s.Stop()
+
+	if s.Len() < 3 {
+		t.Fatalf("series samples = %d, want >= 3", s.Len())
+	}
+	col := s.Column("events")
+	if col == nil {
+		t.Fatal("events column missing")
+	}
+	// The counter is cumulative and must be non-decreasing.
+	for i := 1; i < len(col); i++ {
+		if col[i] < col[i-1] {
+			t.Errorf("counter series decreased: %v", col)
+		}
+	}
+	if last := col[len(col)-1]; last < 7 {
+		t.Errorf("final counter sample = %g, want >= 7", last)
+	}
+	var csv bytes.Buffer
+	if err := s.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "time_us,events,now_us") {
+		t.Errorf("csv header = %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+}
+
+func TestRuntimeMetricsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rt := NewRuntime(Config{MetricsOut: &buf})
+	if !rt.MetricsEnabled() {
+		t.Fatal("metrics should be enabled")
+	}
+	if rt.Interval() != sim.Millisecond {
+		t.Errorf("default interval = %v", rt.Interval())
+	}
+	if rt.NextScope() != "r0" || rt.NextScope() != "r1" {
+		t.Error("scope allocation not sequential")
+	}
+	rt.WriteRow(1500*sim.Nanosecond, "r0", "port/a->b/util", 0.875)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_us,scope,metric,value\n1.5,r0,port/a->b/util,0.875\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestRuntimeEngineTotals(t *testing.T) {
+	rt := NewRuntime(Config{})
+	e1, e2 := sim.New(1), sim.New(2)
+	for i := 0; i < 10; i++ {
+		e1.After(sim.Duration(i)*sim.Nanosecond, func() {})
+	}
+	e2.After(sim.Nanosecond, func() {})
+	rt.AttachEngine(e1)
+	rt.AttachEngine(e1) // idempotent
+	rt.AttachEngine(e2)
+	e1.Run()
+	e2.Run()
+	events, peak := rt.EngineTotals()
+	if events != 11 {
+		t.Errorf("events = %d, want 11", events)
+	}
+	if peak != 10 {
+		t.Errorf("peak heap = %d, want 10", peak)
+	}
+}
+
+func TestActiveRuntimeInstallUninstall(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("runtime unexpectedly active at test start")
+	}
+	rt := NewRuntime(Config{})
+	SetActive(rt)
+	if Active() != rt {
+		t.Error("Active() did not return the installed runtime")
+	}
+	SetActive(nil)
+	if Active() != nil {
+		t.Error("uninstall failed")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 3, 30, 300, 5, 7, 0.1, 50} {
+		h.Observe(v)
+	}
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("quantile not monotone at q=%g: %g < %g", q, v, prev)
+		}
+		prev = v
+	}
+}

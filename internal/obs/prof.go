@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles holds the state of the Go runtime profiling hooks the CLIs
+// expose (-cpuprofile, -memprofile, -pprof). Start what was requested,
+// run the workload, then Stop.
+type Profiles struct {
+	cpu     *os.File
+	memPath string
+}
+
+// StartProfiles starts the requested profiling outputs. cpuPath and
+// memPath name profile files (empty = off); pprofAddr, when non-empty,
+// serves net/http/pprof on that address (e.g. "localhost:6060") for
+// live inspection of long runs.
+func StartProfiles(cpuPath, memPath, pprofAddr string) (*Profiles, error) {
+	p := &Profiles{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	if pprofAddr != "" {
+		go func() {
+			// The default mux carries the pprof handlers; errors here
+			// (port in use) must not kill the simulation.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: pprof server: %v\n", err)
+			}
+		}()
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if either
+// was requested.
+func (p *Profiles) Stop() error {
+	if p == nil {
+		return nil
+	}
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return err
+		}
+		p.cpu = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile is stable
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"expresspass/internal/sim"
+)
+
+// Config configures a Runtime. Zero-value fields disable the
+// corresponding subsystem.
+type Config struct {
+	// Tracer, when non-nil, is handed to every network created while
+	// the runtime is active; its sink receives the event stream.
+	Tracer *Tracer
+
+	// MetricsOut, when non-nil, receives the metrics time series as
+	// long-format CSV: t_us,scope,metric,value. Long format is used
+	// (rather than one column per metric) because the metric set is
+	// dynamic — ports and flows register as topologies are built, and
+	// one xpsim run may create several networks.
+	MetricsOut io.Writer
+
+	// Interval is the metrics sampling period (default 1 ms of
+	// simulated time).
+	Interval sim.Duration
+
+	// FlowMetricsCap bounds how many flows per network register
+	// per-flow gauges (rate, w, delivered bytes, credit waste), keeping
+	// the CSV volume sane on many-thousand-flow workloads. Default 64.
+	FlowMetricsCap int
+}
+
+// Runtime is the process-wide instrumentation state the CLIs install
+// with SetActive. Components that build simulations (netem.NewNetwork)
+// consult Active() at construction time and wire themselves up; when no
+// runtime is active they carry nil hooks and the simulation runs at
+// full speed.
+type Runtime struct {
+	cfg Config
+
+	mu      sync.Mutex
+	engines []*sim.Engine
+	seen    map[*sim.Engine]struct{}
+	scopes  int
+	mw      *bufio.Writer
+	header  bool
+	scratch [64]byte
+}
+
+// NewRuntime returns a runtime for cfg.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Interval <= 0 {
+		cfg.Interval = sim.Millisecond
+	}
+	if cfg.FlowMetricsCap <= 0 {
+		cfg.FlowMetricsCap = 64
+	}
+	rt := &Runtime{cfg: cfg, seen: make(map[*sim.Engine]struct{})}
+	if cfg.MetricsOut != nil {
+		rt.mw = bufio.NewWriterSize(cfg.MetricsOut, 1<<16)
+	}
+	return rt
+}
+
+var active atomic.Pointer[Runtime]
+
+// SetActive installs rt as the process-wide runtime (nil uninstalls).
+func SetActive(rt *Runtime) { active.Store(rt) }
+
+// Active returns the installed runtime, or nil.
+func Active() *Runtime { return active.Load() }
+
+// Tracer returns the runtime's tracer (nil when tracing is off).
+func (rt *Runtime) Tracer() *Tracer { return rt.cfg.Tracer }
+
+// MetricsEnabled reports whether a metrics CSV is being written.
+func (rt *Runtime) MetricsEnabled() bool { return rt.mw != nil }
+
+// Interval returns the metrics sampling period.
+func (rt *Runtime) Interval() sim.Duration { return rt.cfg.Interval }
+
+// FlowMetricsCap returns the per-network flow-gauge budget.
+func (rt *Runtime) FlowMetricsCap() int { return rt.cfg.FlowMetricsCap }
+
+// NextScope allocates a distinct scope label ("r0", "r1", …) for one
+// network's metrics, so several networks built in one process (e.g. the
+// per-protocol arms of an experiment) stay distinguishable in the CSV.
+func (rt *Runtime) NextScope() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := "r" + strconv.Itoa(rt.scopes)
+	rt.scopes++
+	return s
+}
+
+// AttachEngine registers an engine for aggregate accounting (events
+// executed, peak heap depth). Idempotent per engine.
+func (rt *Runtime) AttachEngine(e *sim.Engine) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.seen[e]; ok {
+		return
+	}
+	rt.seen[e] = struct{}{}
+	rt.engines = append(rt.engines, e)
+}
+
+// EngineTotals sums executed events and the maximum event-heap depth
+// across every engine attached so far.
+func (rt *Runtime) EngineTotals() (events uint64, peakHeap int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, e := range rt.engines {
+		events += e.Executed()
+		if p := e.MaxPending(); p > peakHeap {
+			peakHeap = p
+		}
+	}
+	return events, peakHeap
+}
+
+// WriteRow appends one metrics sample to the CSV. No-op when metrics
+// are disabled.
+func (rt *Runtime) WriteRow(t sim.Time, scope, metric string, v float64) {
+	if rt.mw == nil {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if !rt.header {
+		rt.header = true
+		rt.mw.WriteString("t_us,scope,metric,value\n")
+	}
+	b := rt.mw
+	b.Write(strconv.AppendFloat(rt.scratch[:0], t.Micros(), 'g', -1, 64))
+	b.WriteByte(',')
+	b.WriteString(scope)
+	b.WriteByte(',')
+	b.WriteString(metric)
+	b.WriteByte(',')
+	b.Write(strconv.AppendFloat(rt.scratch[:0], v, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+// Close flushes the metrics CSV and closes the tracer's sink. Call it
+// once the simulations are done (the CLIs defer it).
+func (rt *Runtime) Close() error {
+	var err error
+	rt.mu.Lock()
+	if rt.mw != nil {
+		err = rt.mw.Flush()
+		if c, ok := rt.cfg.MetricsOut.(io.Closer); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	rt.mu.Unlock()
+	if rt.cfg.Tracer != nil {
+		if terr := rt.cfg.Tracer.Close(); err == nil {
+			err = terr
+		}
+	}
+	return err
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// JSONLSink encodes each event as one JSON object per line. The schema
+// is flat and fixed — every line carries the same nine keys in the same
+// order — so downstream tooling (jq, pandas.read_json(lines=True)) can
+// consume a trace without per-type handling:
+//
+//	{"t_us":12.345,"ev":"credit_drop","scope":"tor->h3","flow":7,
+//	 "seq":123,"bytes":84,"val":3,"aux":0,"aux2":0}
+//
+// The encoder is hand-rolled: encoding/json reflection would dominate
+// the cost of tracing-enabled runs, and the golden-file test pins this
+// exact byte format as the schema contract.
+type JSONLSink struct {
+	w  *bufio.Writer
+	c  io.Closer // closed on Close when the target is a file
+	ch [64]byte  // scratch for number formatting
+}
+
+// NewJSONLSink writes JSON lines to w. If w is an io.Closer it is
+// closed by Close (after the buffer is flushed).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+func (s *JSONLSink) Record(ev Event) {
+	b := s.w
+	b.WriteString(`{"t_us":`)
+	s.float(ev.T.Micros())
+	b.WriteString(`,"ev":"`)
+	b.WriteString(ev.Type.String())
+	b.WriteString(`","scope":"`)
+	b.WriteString(ev.Scope)
+	b.WriteString(`","flow":`)
+	s.int(ev.Flow)
+	b.WriteString(`,"seq":`)
+	s.int(ev.Seq)
+	b.WriteString(`,"bytes":`)
+	s.int(int64(ev.Bytes))
+	b.WriteString(`,"val":`)
+	s.float(ev.Val)
+	b.WriteString(`,"aux":`)
+	s.float(ev.Aux)
+	b.WriteString(`,"aux2":`)
+	s.float(ev.Aux2)
+	b.WriteString("}\n")
+}
+
+func (s *JSONLSink) int(v int64) {
+	s.w.Write(strconv.AppendInt(s.ch[:0], v, 10))
+}
+
+func (s *JSONLSink) float(v float64) {
+	s.w.Write(strconv.AppendFloat(s.ch[:0], v, 'g', -1, 64))
+}
+
+// Close flushes buffered lines (and closes the underlying file, if any).
+func (s *JSONLSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// CSVSink encodes events as CSV with a fixed header, one row per event
+// — the same columns as the JSONL schema, for spreadsheet-style tools.
+type CSVSink struct {
+	w      *bufio.Writer
+	c      io.Closer
+	header bool
+	ch     [64]byte
+}
+
+// NewCSVSink writes CSV rows to w (header emitted on first record).
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+func (s *CSVSink) Record(ev Event) {
+	if !s.header {
+		s.header = true
+		s.w.WriteString("t_us,ev,scope,flow,seq,bytes,val,aux,aux2\n")
+	}
+	fmt.Fprintf(s.w, "%g,%s,%s,%d,%d,%d,%g,%g,%g\n",
+		ev.T.Micros(), ev.Type, ev.Scope, ev.Flow, ev.Seq, int64(ev.Bytes),
+		ev.Val, ev.Aux, ev.Aux2)
+}
+
+// Close flushes buffered rows (and closes the underlying file, if any).
+func (s *CSVSink) Close() error {
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// RingSink keeps the last N events in memory — the sink tests and
+// debugging sessions use to make assertions about what a component
+// emitted without any I/O.
+type RingSink struct {
+	evs   []Event
+	next  int
+	total uint64
+	full  bool
+}
+
+// NewRingSink returns a sink retaining the most recent capacity events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &RingSink{evs: make([]Event, capacity)}
+}
+
+func (s *RingSink) Record(ev Event) {
+	s.evs[s.next] = ev
+	s.next++
+	s.total++
+	if s.next == len(s.evs) {
+		s.next = 0
+		s.full = true
+	}
+}
+
+// Close is a no-op (the ring stays readable).
+func (s *RingSink) Close() error { return nil }
+
+// Total returns the number of events ever recorded.
+func (s *RingSink) Total() uint64 { return s.total }
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	if !s.full {
+		return append([]Event(nil), s.evs[:s.next]...)
+	}
+	out := make([]Event, 0, len(s.evs))
+	out = append(out, s.evs[s.next:]...)
+	return append(out, s.evs[:s.next]...)
+}
+
+// CountType returns how many retained events have the given type.
+func (s *RingSink) CountType(ty EventType) int {
+	n := 0
+	for _, ev := range s.Events() {
+		if ev.Type == ty {
+			n++
+		}
+	}
+	return n
+}

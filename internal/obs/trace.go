@@ -1,0 +1,170 @@
+// Package obs is the instrumentation layer of the simulator: a typed
+// event tracer, a metrics registry of counters/gauges/histograms, and
+// runtime profiling hooks, all designed to cost nothing when disabled.
+//
+// The contract with the hot paths (sim.Engine, netem.Port, the core
+// credit state machines) is deliberately primitive: an instrumented
+// component holds a *Tracer pointer that is nil when tracing is off and
+// guards every emission with a single nil check — one predictable,
+// never-taken branch on the disabled path. No interface dispatch, no
+// atomic loads, no allocation happens unless a trace is actually being
+// recorded. The same holds for metrics: gauges are pull-based closures
+// that are only evaluated when a sampler ticks, and nothing is sampled
+// unless a Runtime with metrics output is active.
+//
+// Wiring is equally simple: either attach a Tracer to one network with
+// netem.Network.SetTracer (tests, library users), or install a
+// process-wide Runtime with SetActive (the CLIs do this) which every
+// subsequently-created network picks up automatically.
+package obs
+
+import (
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// EventType classifies a trace event. The set mirrors the observations
+// the paper's evaluation is built on: per-link credit-throttle drops
+// (Fig 6, §3.1), queue occupancy over time (Figs 1/13, Table 3),
+// per-flow credit and data rates (Figs 2/13/16), and the feedback-loop
+// w/rate trajectory (Algorithm 1, Fig 18).
+type EventType uint8
+
+// Event types. The Val/Aux/Aux2 columns of Event carry the per-type
+// payload documented next to each constant.
+const (
+	// EvCreditSent: receiver emitted one credit.
+	// Val = current credit rate (Gbps), Aux = w.
+	EvCreditSent EventType = iota
+	// EvCreditRecv: a credit reached the sender.
+	EvCreditRecv
+	// EvCreditWaste: a credit arrived after the sender ran out of data
+	// (the waste metric of Fig 20).
+	EvCreditWaste
+	// EvCreditDrop: the credit-class queue at a port dropped a credit
+	// (the rate limiter doing its job, §3.1). Flow/Seq identify the
+	// arriving credit (the displaced victim under random-victim
+	// replacement is not identified). Val = credit queue length after.
+	EvCreditDrop
+	// EvDataEnq: a data packet entered a port's data queue.
+	// Val = data queue bytes after the enqueue.
+	EvDataEnq
+	// EvDataDeq: a data packet left a port's data queue for the wire.
+	// Val = data queue bytes after the dequeue.
+	EvDataDeq
+	// EvDataDrop: the data queue drop-tailed a packet.
+	// Val = data queue bytes at the drop.
+	EvDataDrop
+	// EvQueueDepth: data-queue occupancy changed. Val = bytes, Aux = pkts.
+	EvQueueDepth
+	// EvCreditQDepth: credit-queue occupancy changed. Val = packets.
+	EvCreditQDepth
+	// EvFeedback: the per-flow controller ran Algorithm 1.
+	// Val = new rate (Gbps), Aux = w, Aux2 = measured credit loss.
+	EvFeedback
+	// EvPFCPause / EvPFCResume: an ingress crossed XOff / drained below
+	// XOn and signalled the upstream transmitter. Val = ingress bytes.
+	EvPFCPause
+	EvPFCResume
+
+	numEventTypes
+)
+
+var eventNames = [numEventTypes]string{
+	EvCreditSent:   "credit_sent",
+	EvCreditRecv:   "credit_recv",
+	EvCreditWaste:  "credit_waste",
+	EvCreditDrop:   "credit_drop",
+	EvDataEnq:      "data_enq",
+	EvDataDeq:      "data_deq",
+	EvDataDrop:     "data_drop",
+	EvQueueDepth:   "qdepth",
+	EvCreditQDepth: "credit_qdepth",
+	EvFeedback:     "feedback",
+	EvPFCPause:     "pfc_pause",
+	EvPFCResume:    "pfc_resume",
+}
+
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return "unknown"
+}
+
+// EventTypeByName returns the type whose String() is name, or ok=false.
+func EventTypeByName(name string) (EventType, bool) {
+	for i, n := range eventNames {
+		if n == name {
+			return EventType(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one trace record. It is a flat value struct so emitting one
+// never allocates; sinks receive it by value and encode it as they
+// please. Scope names the emitting component (a port "a->b", a host
+// name for endpoint events). Flow/Seq/Bytes are zero when the type has
+// no use for them; Val/Aux/Aux2 carry the per-type payload documented
+// on the EventType constants.
+type Event struct {
+	T     sim.Time
+	Type  EventType
+	Scope string
+	Flow  int64
+	Seq   int64
+	Bytes unit.Bytes
+	Val   float64
+	Aux   float64
+	Aux2  float64
+}
+
+// Sink receives trace events. Implementations are single-goroutine like
+// the simulator itself and need no locking.
+type Sink interface {
+	Record(ev Event)
+	Close() error
+}
+
+// Tracer filters events by type and forwards them to a sink. The
+// zero-overhead contract lives at the call sites: code holds a *Tracer
+// that is nil when tracing is disabled, so the only cost on the
+// disabled path is the nil check itself.
+type Tracer struct {
+	sink Sink
+	mask uint64
+	n    uint64
+}
+
+// NewTracer returns a tracer recording the given event types to sink;
+// with no types listed, every type is recorded.
+func NewTracer(sink Sink, types ...EventType) *Tracer {
+	t := &Tracer{sink: sink}
+	if len(types) == 0 {
+		t.mask = ^uint64(0)
+	} else {
+		for _, ty := range types {
+			t.mask |= 1 << ty
+		}
+	}
+	return t
+}
+
+// Enabled reports whether events of type ty pass the filter.
+func (t *Tracer) Enabled(ty EventType) bool { return t.mask&(1<<ty) != 0 }
+
+// Emit records ev if its type passes the filter.
+func (t *Tracer) Emit(ev Event) {
+	if t.mask&(1<<ev.Type) == 0 {
+		return
+	}
+	t.n++
+	t.sink.Record(ev)
+}
+
+// Count returns the number of events recorded (post-filter).
+func (t *Tracer) Count() uint64 { return t.n }
+
+// Close flushes and closes the sink.
+func (t *Tracer) Close() error { return t.sink.Close() }

@@ -53,7 +53,12 @@ type Engine struct {
 	nextSeq uint64
 	rng     *Rand
 	nEvents uint64 // executed events, for instrumentation
+	maxHeap int    // peak heap depth, for instrumentation
 	free    []*event
+
+	// hook, when non-nil, observes every executed event (see SetHook).
+	// The disabled path costs exactly one predictable branch in Step.
+	hook func(now Time, pending int)
 }
 
 // New returns an engine at time zero whose RNG is seeded with seed.
@@ -73,6 +78,16 @@ func (e *Engine) Executed() uint64 { return e.nEvents }
 // Pending returns the number of events currently queued (including
 // canceled-but-unpopped events).
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// MaxPending returns the peak event-heap depth observed so far — the
+// engine's memory high-water mark and a proxy for model fan-out.
+func (e *Engine) MaxPending() int { return e.maxHeap }
+
+// SetHook installs a profiling hook invoked after every executed event
+// with the current time and remaining heap depth (nil uninstalls).
+// Intended for instrumentation (event-rate meters, heap-depth probes);
+// the hook must not schedule or cancel events.
+func (e *Engine) SetHook(fn func(now Time, pending int)) { e.hook = fn }
 
 // less orders events by (time, insertion sequence).
 func less(a, b *event) bool {
@@ -129,6 +144,9 @@ func (e *Engine) siftDown(i int) {
 
 func (e *Engine) push(ev *event) {
 	e.heap = append(e.heap, ev)
+	if len(e.heap) > e.maxHeap {
+		e.maxHeap = len(e.heap)
+	}
 	e.siftUp(len(e.heap) - 1)
 }
 
@@ -185,6 +203,9 @@ func (e *Engine) Step() bool {
 		e.recycle(ev)
 		e.nEvents++
 		fn()
+		if e.hook != nil {
+			e.hook(e.now, len(e.heap))
+		}
 		return true
 	}
 	return false
