@@ -3,18 +3,27 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check test bench fmt vet race
+.PHONY: check test bench bench-quick gate fmt vet race
 
 ## check: the pre-commit gate — vet, formatting, and the race-enabled
-## tests of the engine and instrumentation layer (the two packages with
-## the subtlest invariants). Run before every commit.
+## tests of the engine, instrumentation, and parallel-runner layers
+## (the packages with the subtlest invariants). The experiments package
+## runs with -short so the full determinism gate (see `make gate`)
+## stays out of the race budget; its obs byte-identity test still runs.
 check: vet
 	@unformatted=$$(gofmt -l $(GOFILES)); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
-	go test -race ./internal/sim/... ./internal/obs/...
+	go test -race ./internal/sim/... ./internal/obs/... ./internal/runner/...
+	go test -race -short ./internal/experiments/...
 	@echo "check: OK"
+
+## gate: the full serial-vs-parallel determinism gate — every registered
+## experiment, including the heavy realistic workloads, run at -procs 1
+## and at the worker-pool width with byte-compared output.
+gate:
+	XPSIM_GATE_ALL=1 go test -run TestSerialParallel -timeout 30m -v ./internal/experiments/
 
 vet:
 	go vet ./...
@@ -27,6 +36,11 @@ race:
 
 bench:
 	go test -bench=. -benchmem
+
+## bench-quick: one pass of the two parallel sweep benches; reports
+## trials/sec, aggregate sim-events/sec, and speedup-vs-serial.
+bench-quick:
+	go test -run '^$$' -bench 'BenchmarkSweep(Fig18|Table3)' -benchtime 1x
 
 fmt:
 	gofmt -w $(GOFILES)

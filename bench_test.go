@@ -17,9 +17,12 @@ package expresspass_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"expresspass"
+	"expresspass/internal/runner"
 )
 
 // benchExperiment runs one registered experiment per iteration and
@@ -109,6 +112,63 @@ func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", 1) }
 
 // Queue occupancy across workloads and loads (Table 3).
 func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", 0.004) }
+
+// ---- parallel sweep benches ----
+
+// benchSweep measures a sweep-shaped experiment under the parallel
+// runner: one untimed serial (-procs 1) pass establishes the baseline,
+// then the timed iterations run at the default worker count. Custom
+// metrics report sweep throughput (trials/sec), aggregate engine
+// throughput across all workers (sim-events/sec), and wall-clock
+// speedup versus the serial pass — ~1.0 on a single-core runner, and
+// approaching the worker count on multi-core machines since trials are
+// independent. Output is byte-identical either way (see the
+// determinism gate in internal/experiments).
+func benchSweep(b *testing.B, id string, scale float64) {
+	b.Helper()
+	rt := expresspass.NewObsRuntime(expresspass.ObsConfig{})
+	expresspass.SetObsRuntime(rt)
+	defer expresspass.SetObsRuntime(nil)
+	p := expresspass.ExperimentParams{Scale: scale, Seed: 42}
+	var out bytes.Buffer
+
+	expresspass.SetSweepProcs(1)
+	start := time.Now()
+	if err := expresspass.RunExperiment(id, p, &out); err != nil {
+		b.Fatal(err)
+	}
+	serialWall := time.Since(start)
+
+	expresspass.SetSweepProcs(0) // default: GOMAXPROCS workers
+	defer expresspass.SetSweepProcs(0)
+	trials0 := runner.TrialsRun()
+	events0, _ := rt.EngineTotals()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Reset()
+		if err := expresspass.RunExperiment(id, p, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	trials := runner.TrialsRun() - trials0
+	events, _ := rt.EngineTotals()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(trials)/sec, "trials/sec")
+		b.ReportMetric(float64(events-events0)/sec, "sim-events/sec")
+		b.ReportMetric(serialWall.Seconds()/(sec/float64(b.N)), "speedup-vs-serial")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkSweepFig18 fans the fig18 parameter-sensitivity grid
+// (α/w_init combos × workloads) across the worker pool.
+func BenchmarkSweepFig18(b *testing.B) { benchSweep(b, "fig18", 0.004) }
+
+// BenchmarkSweepTable3 fans the table3 queue-occupancy matrix
+// (4 workloads × 3 loads × 5 protocols = 60 trials) across the pool —
+// the repo's widest sweep.
+func BenchmarkSweepTable3(b *testing.B) { benchSweep(b, "table3", 0.002) }
 
 // ---- ablation benches (design-choice call-outs from DESIGN.md) ----
 

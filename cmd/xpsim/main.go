@@ -6,10 +6,16 @@
 //	xpsim -list
 //	xpsim [-scale 0.1] [-seed 42] fig15 fig16 table3
 //	xpsim -all
+//	xpsim -procs 8 table3
 //	xpsim -trace out.jsonl -metrics metrics.csv fig17
 //
 // Scale 1.0 reproduces the paper-scale configuration (hours of CPU);
 // the default scale runs laptop-fast shape checks.
+//
+// Sweep trials fan out across -procs worker goroutines (default
+// GOMAXPROCS; -procs 1 forces serial). Output — tables, traces, and
+// metrics alike — is byte-identical at any worker count for the same
+// seed; see internal/runner.
 //
 // Observability flags (see internal/obs):
 //
@@ -28,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -48,7 +55,11 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
+		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
 	flag.Parse()
+
+	expresspass.SetSweepProcs(*procs)
 
 	if *list {
 		for _, e := range expresspass.Experiments() {

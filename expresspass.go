@@ -36,6 +36,7 @@ import (
 	"expresspass/internal/experiments"
 	"expresspass/internal/netem"
 	"expresspass/internal/obs"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/transport"
@@ -192,6 +193,15 @@ func SetObsRuntime(rt *ObsRuntime) { obs.SetActive(rt) }
 
 // NewObsRuntime returns an instrumentation runtime for cfg.
 func NewObsRuntime(cfg ObsConfig) *ObsRuntime { return obs.NewRuntime(cfg) }
+
+// SetSweepProcs sets how many worker goroutines experiment sweeps fan
+// their independent trials across: 1 forces the serial path, 0 restores
+// the default of runtime.GOMAXPROCS(0). Output is byte-identical at any
+// worker count (xpsim exposes this as -procs).
+func SetSweepProcs(n int) { runner.SetProcs(n) }
+
+// SweepProcs returns the effective sweep worker count.
+func SweepProcs() int { return runner.Procs() }
 
 // Experiment identifies one reproduced table or figure.
 type Experiment = experiments.Experiment

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"expresspass/internal/netcalc"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
 )
@@ -30,12 +31,16 @@ func runTable1(_ Params, w io.Writer) error {
 		{"3-tier Clos (10/40G)", 10 * unit.Gbps, 40 * unit.Gbps},
 		{"3-tier Clos (40/100G)", 40 * unit.Gbps, 100 * unit.Gbps},
 	}
-	tbl := NewTable("topology", "ToR down", "ToR up", "Core")
-	for _, r := range rows {
+	cells := runner.Map(len(rows), func(_ *runner.T, i int) []any {
 		// The bound depends only on rates/delays/queue budgets, so the
 		// fat-tree and Clos rows coincide — as in the paper's Table 1.
+		r := rows[i]
 		b := netcalc.PaperSpec(r.host, r.fabric).Compute()
-		tbl.Add(r.name, b.ToRDown.String(), b.ToRUp.String(), b.Core.String())
+		return []any{r.name, b.ToRDown.String(), b.ToRUp.String(), b.Core.String()}
+	})
+	tbl := NewTable("topology", "ToR down", "ToR up", "Core")
+	for _, row := range cells {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	fmt.Fprintln(w, "(paper: 577.3KB / 19.0KB / 131.1KB at 10/40G; 1.06MB / 37.2KB / 221.8KB at 40/100G)")

@@ -5,6 +5,7 @@ import (
 
 	"expresspass/internal/core"
 	"expresspass/internal/dctcp"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/topology"
 	"expresspass/internal/transport"
@@ -60,11 +61,13 @@ func TestCoexistenceWithUncreditedTraffic(t *testing.T) {
 func TestMixedFabricWorkload(t *testing.T) {
 	run := func() (finished int, drops uint64, events uint64) {
 		p := Params{Scale: 0.02, Seed: 7}.withDefaults()
-		res := runRealistic(p, realisticCfg{
-			proto: ProtoExpressPass,
-			dist:  workload.WebServer(),
-			load:  0.6, linkRate: 10 * unit.Gbps,
-		})
+		res := runner.Map(1, func(t *runner.T, _ int) realisticResult {
+			return runRealistic(t, p, realisticCfg{
+				proto: ProtoExpressPass,
+				dist:  workload.WebServer(),
+				load:  0.6, linkRate: 10 * unit.Gbps,
+			})
+		})[0]
 		return res.finished, res.dataDrops, 0
 	}
 	f1, d1, _ := run()

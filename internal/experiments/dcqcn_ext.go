@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"expresspass/internal/core"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -24,43 +25,44 @@ func init() {
 }
 
 func runExtDCQCN(p Params, w io.Writer) error {
-	tbl := NewTable("fanout", "proto", "p99 FCT ms", "maxQ KB", "drops", "PFC pauses")
 	fanouts := dedupe([]int{16, 64, p.scaleInt(256, 64)})
-	for _, fanout := range fanouts {
-		for _, proto := range []Proto{ProtoExpressPass, ProtoDCQCN} {
-			eng := sim.New(p.Seed)
-			tcfg := topology.Config{LinkRate: 10 * unit.Gbps, DataCapacity: 2 * unit.MB}
-			proto.Features(&tcfg, 30*sim.Microsecond)
-			st := topology.NewStar(eng, 17, tcfg)
-			env := &Env{Eng: eng, Net: st.Net, BaseRTT: 30 * sim.Microsecond,
-				XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
-				Conn: transport.ConnConfig{}}
-			var flows []*transport.Flow
-			for i := 0; i < fanout; i++ {
-				f := transport.NewFlow(st.Net, st.Hosts[1+i%16], st.Hosts[0],
-					256*unit.KB, sim.Duration(i)*200*sim.Nanosecond)
-				flows = append(flows, f)
-				env.Dial(proto, f)
-			}
-			eng.RunUntil(2 * sim.Second)
-			var fcts []float64
-			done := 0
-			for _, f := range flows {
-				if f.Finished {
-					done++
-					fcts = append(fcts, f.FCT().Seconds()*1e3)
-				}
-			}
-			var pauses uint64
-			for _, port := range st.Net.AllPorts() {
-				pauses += port.PFCPauses()
-			}
-			bn := st.DownPort(0)
-			tbl.Add(fanout, string(proto),
-				fmt.Sprintf("%.3g", stats.Percentile(fcts, 99)),
-				float64(bn.DataStats().MaxBytes)/1e3,
-				st.Net.TotalDataDrops(), pauses)
+	protos := []Proto{ProtoExpressPass, ProtoDCQCN}
+	rows := runner.Map(len(fanouts)*len(protos), func(t *runner.T, cell int) []any {
+		fanout, proto := fanouts[cell/len(protos)], protos[cell%len(protos)]
+		eng := t.Engine(p.Seed)
+		tcfg := topology.Config{LinkRate: 10 * unit.Gbps, DataCapacity: 2 * unit.MB}
+		proto.Features(&tcfg, 30*sim.Microsecond)
+		st := topology.NewStar(eng, 17, tcfg)
+		env := &Env{Eng: eng, Net: st.Net, BaseRTT: 30 * sim.Microsecond,
+			XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
+			Conn: transport.ConnConfig{}}
+		var flows []*transport.Flow
+		for i := 0; i < fanout; i++ {
+			f := transport.NewFlow(st.Net, st.Hosts[1+i%16], st.Hosts[0],
+				256*unit.KB, sim.Duration(i)*200*sim.Nanosecond)
+			flows = append(flows, f)
+			env.Dial(proto, f)
 		}
+		eng.RunUntil(2 * sim.Second)
+		var fcts []float64
+		for _, f := range flows {
+			if f.Finished {
+				fcts = append(fcts, f.FCT().Seconds()*1e3)
+			}
+		}
+		var pauses uint64
+		for _, port := range st.Net.AllPorts() {
+			pauses += port.PFCPauses()
+		}
+		bn := st.DownPort(0)
+		return []any{fanout, string(proto),
+			fmt.Sprintf("%.3g", stats.Percentile(fcts, 99)),
+			float64(bn.DataStats().MaxBytes) / 1e3,
+			st.Net.TotalDataDrops(), pauses}
+	})
+	tbl := NewTable("fanout", "proto", "p99 FCT ms", "maxQ KB", "drops", "PFC pauses")
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil

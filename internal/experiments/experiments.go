@@ -74,37 +74,73 @@ type Experiment struct {
 	Run   func(p Params, w io.Writer) error
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	byID     = map[string]int{} // ID → index into registry
+)
 
-func register(e Experiment) { registry = append(registry, e) }
+func register(e Experiment) {
+	if _, dup := byID[e.ID]; dup {
+		panic("experiments: duplicate ID " + e.ID)
+	}
+	byID[e.ID] = len(registry)
+	registry = append(registry, e)
+}
 
 // All returns the registered experiments sorted by ID (figures first).
 func All() []Experiment {
-	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return idKey(out[i].ID) < idKey(out[j].ID) })
+	// Precompute each sort key once instead of re-deriving it inside
+	// the comparator (O(n log n) key builds → O(n)).
+	keyed := make([]struct {
+		key string
+		e   Experiment
+	}, len(registry))
+	for i, e := range registry {
+		keyed[i].key, keyed[i].e = idKey(e.ID), e
+	}
+	sort.Slice(keyed, func(i, j int) bool { return keyed[i].key < keyed[j].key })
+	out := make([]Experiment, len(keyed))
+	for i := range keyed {
+		out[i] = keyed[i].e
+	}
 	return out
 }
 
 func idKey(id string) string {
 	// figNN sorts numerically, tables after figures.
-	var n int
-	if _, err := fmt.Sscanf(id, "fig%d", &n); err == nil {
+	if n, ok := numSuffix(id, "fig"); ok {
 		return fmt.Sprintf("a%04d", n)
 	}
-	if _, err := fmt.Sscanf(id, "table%d", &n); err == nil {
+	if n, ok := numSuffix(id, "table"); ok {
 		return fmt.Sprintf("b%04d", n)
 	}
 	return "c" + id
 }
 
+// numSuffix parses ids of the form <prefix><digits> without the
+// reflection cost of fmt.Sscanf.
+func numSuffix(id, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, prefix)
+	if !ok || rest == "" {
+		return 0, false
+	}
+	n := 0
+	for _, c := range []byte(rest) {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
 // Get returns the experiment with the given ID.
 func Get(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
+	i, ok := byID[id]
+	if !ok {
+		return Experiment{}, false
 	}
-	return Experiment{}, false
+	return registry[i], true
 }
 
 // Run executes the experiment with the given ID.

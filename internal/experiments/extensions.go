@@ -6,6 +6,7 @@ import (
 
 	"expresspass/internal/core"
 	"expresspass/internal/netem"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -29,8 +30,8 @@ func init() {
 }
 
 func runExtClasses(p Params, w io.Writer) error {
-	run := func(classes []netem.CreditClassConfig) (hi, lo float64) {
-		eng := sim.New(p.Seed)
+	run := func(t *runner.T, classes []netem.CreditClassConfig) (hi, lo float64) {
+		eng := t.Engine(p.Seed)
 		net := netem.NewNetwork(eng)
 		left := net.NewSwitch("L")
 		right := net.NewSwitch("R")
@@ -63,21 +64,26 @@ func runExtClasses(p Params, w io.Writer) error {
 		return gbps(fHi.TakeDeliveredDelta(), meas), gbps(fLo.TakeDeliveredDelta(), meas)
 	}
 
-	tbl := NewTable("policy", "class-0 Gbps", "class-1 Gbps", "ratio")
-	for _, c := range []struct {
+	policies := []struct {
 		name    string
 		classes []netem.CreditClassConfig
 	}{
 		{"single class (baseline)", nil},
 		{"strict priority 0 > 1", []netem.CreditClassConfig{{Priority: 0}, {Priority: 1}}},
 		{"weighted 3:1", []netem.CreditClassConfig{{Priority: 0, Weight: 3}, {Priority: 0, Weight: 1}}},
-	} {
-		hi, lo := run(c.classes)
+	}
+	rows := runner.Map(len(policies), func(t *runner.T, i int) []any {
+		c := policies[i]
+		hi, lo := run(t, c.classes)
 		ratio := "-"
 		if lo > 0.01 {
 			ratio = fmt.Sprintf("%.2f", hi/lo)
 		}
-		tbl.Add(c.name, hi, lo, ratio)
+		return []any{c.name, hi, lo, ratio}
+	})
+	tbl := NewTable("policy", "class-0 Gbps", "class-1 Gbps", "ratio")
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -95,9 +101,10 @@ func init() {
 }
 
 func runExtSpray(p Params, w io.Writer) error {
-	tbl := NewTable("routing", "aggregate Gbps", "jain", "maxQ KB", "data drops")
-	for _, spray := range []bool{false, true} {
-		eng := sim.New(p.Seed)
+	arms := []bool{false, true}
+	rows := runner.Map(len(arms), func(t *runner.T, i int) []any {
+		spray := arms[i]
+		eng := t.Engine(p.Seed)
 		ft := topology.NewFatTree(eng, 4, topology.Config{LinkRate: 10 * unit.Gbps})
 		if spray {
 			for _, sw := range ft.Net.Switches() {
@@ -139,8 +146,12 @@ func runExtSpray(p Params, w io.Writer) error {
 		if spray {
 			name = "packet spraying"
 		}
-		tbl.Add(name, total, stats.JainIndex(rates),
-			float64(maxQ)/1e3, ft.Net.TotalDataDrops())
+		return []any{name, total, stats.JainIndex(rates),
+			float64(maxQ) / 1e3, ft.Net.TotalDataDrops()}
+	})
+	tbl := NewTable("routing", "aggregate Gbps", "jain", "maxQ KB", "data drops")
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -209,8 +220,8 @@ func init() {
 }
 
 func runExtStopMargin(p Params, w io.Writer) error {
-	run := func(margin unit.Bytes, size unit.Bytes) (waste float64, fct sim.Duration, ok bool) {
-		eng := sim.New(p.Seed)
+	run := func(t *runner.T, margin unit.Bytes, size unit.Bytes) (waste float64, fct sim.Duration, ok bool) {
+		eng := t.Engine(p.Seed)
 		d := topology.NewDumbbell(eng, 2, topology.Config{
 			LinkRate: 10 * unit.Gbps, LinkDelay: 16 * sim.Microsecond,
 		})
@@ -225,15 +236,26 @@ func runExtStopMargin(p Params, w io.Writer) error {
 		return float64(sess.CreditsWasted()), f.FCT(), true
 	}
 	// ~1 BDP of data at 10G / 100 µs RTT ≈ 125 KB ≈ 81 MTUs.
+	sizes := []unit.Bytes{64 * unit.KB, 256 * unit.KB, 1 * unit.MB}
+	margins := []unit.Bytes{0, 120 * unit.KB}
+	type trial struct {
+		waste float64
+		fct   sim.Duration
+		ok    bool
+	}
+	results := runner.Map(len(sizes)*len(margins), func(t *runner.T, cell int) trial {
+		size, margin := sizes[cell/len(margins)], margins[cell%len(margins)]
+		waste, fct, ok := run(t, margin, size)
+		return trial{waste, fct, ok}
+	})
 	tbl := NewTable("flow size", "waste (no margin)", "waste (margin=BDP)", "FCT delta")
-	for _, size := range []unit.Bytes{64 * unit.KB, 256 * unit.KB, 1 * unit.MB} {
-		w0, f0, ok0 := run(0, size)
-		w1, f1, ok1 := run(120*unit.KB, size)
-		if !ok0 || !ok1 {
+	for si, size := range sizes {
+		t0, t1 := results[si*len(margins)], results[si*len(margins)+1]
+		if !t0.ok || !t1.ok {
 			tbl.Add(size.String(), "did not finish", "-", "-")
 			continue
 		}
-		tbl.Add(size.String(), w0, w1, (f1 - f0).String())
+		tbl.Add(size.String(), t0.waste, t1.waste, (t1.fct - t0.fct).String())
 	}
 	tbl.Write(w)
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"expresspass/internal/netem"
 	"expresspass/internal/packet"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -24,7 +25,17 @@ func init() {
 }
 
 func runFig14(p Params, w io.Writer) error {
-	// (a) the SoftNIC credit-processing delay model.
+	// Parts (a) and (b) are independent measurements, so they run as two
+	// sweep trials whose sections are stitched in order.
+	parts := []func(t *runner.T, p Params, w io.Writer) error{runFig14a, runFig14b}
+	return runner.Sweep(len(parts), w, func(t *runner.T, i int, w io.Writer) error {
+		return parts[i](t, p, w)
+	})
+}
+
+// runFig14a measures the SoftNIC credit-processing delay model.
+func runFig14a(t *runner.T, p Params, w io.Writer) error {
+	_ = t // pure-compute part: no engine needed
 	rng := sim.NewRand(p.Seed)
 	model := netem.SoftNICDelay()
 	var us []float64
@@ -35,9 +46,13 @@ func runFig14(p Params, w io.Writer) error {
 	fmt.Fprintf(w, "(a) host credit-processing delay model (SoftNIC):\n")
 	fmt.Fprintf(w, "    p50=%.3gus p99=%.3gus p99.9=%.3gus max=%.3gus (paper: median 0.38us, 99.99%%=6.2us)\n",
 		s.P50, s.P99, s.P999, s.Max)
+	return nil
+}
 
-	// (b) inter-credit gap at transmission vs after crossing a switch.
-	eng := sim.New(p.Seed)
+// runFig14b measures the inter-credit gap at transmission vs after
+// crossing a switch.
+func runFig14b(t *runner.T, p Params, w io.Writer) error {
+	eng := t.Engine(p.Seed)
 	st := topology.NewStar(eng, 2, topology.Config{LinkRate: 10 * unit.Gbps})
 	rx := &gapRecorder{eng: eng}
 	st.Hosts[1].Register(99, rx)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"expresspass/internal/core"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -137,8 +138,9 @@ func runFig2(p Params, w io.Writer) error {
 		{ProtoCubic, false, 500 * sim.Microsecond, p.scaleDur(250*sim.Millisecond, 150*sim.Millisecond), 4},
 		{ProtoDCTCP, false, 500 * sim.Microsecond, p.scaleDur(300*sim.Millisecond, 80*sim.Millisecond), 4},
 	}
-	for _, a := range arms {
-		eng := sim.New(p.Seed)
+	rows := runner.Map(len(arms), func(t *runner.T, i int) []any {
+		a := arms[i]
+		eng := t.Engine(p.Seed)
 		tcfg := topology.Config{}
 		a.name.Features(&tcfg, rtt)
 		d := rttDumbbell(eng, 2, 10*unit.Gbps, rtt, tcfg)
@@ -172,11 +174,13 @@ func runFig2(p Params, w io.Writer) error {
 		}
 		cb := equalized(series, 2*fair, ratio, a.hold)
 		if cb < 0 {
-			tbl.Add(string(a.name), fmt.Sprintf(">%v", a.span), "-", fair)
-			continue
+			return []any{string(a.name), fmt.Sprintf(">%v", a.span), "-", fair}
 		}
 		ct := sim.Duration(cb) * a.bin
-		tbl.Add(string(a.name), ct.String(), float64(ct)/float64(rtt), fair)
+		return []any{string(a.name), ct.String(), float64(ct) / float64(rtt), fair}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -213,40 +217,46 @@ func runFig6(p Params, w io.Writer) error {
 		{-1, false},
 	}
 	counts := dedupe([]int{16, 64, p.scaleInt(1024, 128)})
-	for _, n := range counts {
+	// One trial per (flow count, jitter arm) grid cell; rows are
+	// reassembled from the flat result slice below.
+	fairness := runner.Map(len(counts)*len(arms), func(t *runner.T, cell int) float64 {
+		n, a := counts[cell/len(arms)], arms[cell%len(arms)]
+		eng := t.Engine(p.Seed)
+		d := rttDumbbell(eng, n, 10*unit.Gbps, 25*sim.Microsecond,
+			topology.Config{CreditTailDrop: a.tailDrop})
+		cfg := core.Config{BaseRTT: 100 * sim.Microsecond,
+			Naive:                          true,
+			DisableCreditSizeRandomization: true,
+			JitterFrac:                     a.jitter}
+		var flows []*transport.Flow
+		for i := 0; i < n; i++ {
+			f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 0,
+				sim.Duration(i)*sim.Nanosecond) // near-synchronized starts
+			core.Dial(f, cfg)
+			flows = append(flows, f)
+		}
+		eng.RunUntil(p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond))
+		for _, f := range flows {
+			f.TakeDeliveredDelta()
+		}
+		// Measure over enough packets per flow that sampling noise
+		// doesn't mask ordering effects (the paper's 1 ms interval,
+		// stretched when flows are many).
+		meas := sim.Duration(n) * 250 * sim.Microsecond
+		if meas < sim.Millisecond {
+			meas = sim.Millisecond
+		}
+		eng.RunFor(meas)
+		var rates []float64
+		for _, f := range flows {
+			rates = append(rates, float64(f.TakeDeliveredDelta()))
+		}
+		return stats.JainIndex(rates)
+	})
+	for ci, n := range counts {
 		row := []any{n}
-		for _, a := range arms {
-			eng := sim.New(p.Seed)
-			d := rttDumbbell(eng, n, 10*unit.Gbps, 25*sim.Microsecond,
-				topology.Config{CreditTailDrop: a.tailDrop})
-			cfg := core.Config{BaseRTT: 100 * sim.Microsecond,
-				Naive:                          true,
-				DisableCreditSizeRandomization: true,
-				JitterFrac:                     a.jitter}
-			var flows []*transport.Flow
-			for i := 0; i < n; i++ {
-				f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 0,
-					sim.Duration(i)*sim.Nanosecond) // near-synchronized starts
-				core.Dial(f, cfg)
-				flows = append(flows, f)
-			}
-			eng.RunUntil(p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond))
-			for _, f := range flows {
-				f.TakeDeliveredDelta()
-			}
-			// Measure over enough packets per flow that sampling noise
-			// doesn't mask ordering effects (the paper's 1 ms interval,
-			// stretched when flows are many).
-			meas := sim.Duration(n) * 250 * sim.Microsecond
-			if meas < sim.Millisecond {
-				meas = sim.Millisecond
-			}
-			eng.RunFor(meas)
-			var rates []float64
-			for _, f := range flows {
-				rates = append(rates, float64(f.TakeDeliveredDelta()))
-			}
-			row = append(row, stats.JainIndex(rates))
+		for ai := range arms {
+			row = append(row, fairness[ci*len(arms)+ai])
 		}
 		tbl.Add(row...)
 	}
@@ -280,9 +290,11 @@ func init() {
 func runFig8(p Params, w io.Writer) error {
 	rtt := 100 * sim.Microsecond
 	tbl := NewTable("alpha", "conv RTTs", "wasted credits (1-pkt flow)")
-	for _, alpha := range []float64{1, 0.5, 0.25, 0.125, 1.0 / 16, 1.0 / 32} {
+	alphas := []float64{1, 0.5, 0.25, 0.125, 1.0 / 16, 1.0 / 32}
+	rows := runner.Map(len(alphas), func(t *runner.T, i int) []any {
+		alpha := alphas[i]
 		// (a) convergence of a new flow against one established flow.
-		eng := sim.New(p.Seed)
+		eng := t.Engine(p.Seed)
 		d := rttDumbbell(eng, 2, 10*unit.Gbps, rtt, topology.Config{})
 		cfg := core.Config{BaseRTT: rtt, Alpha: alpha}
 		f0 := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 0, 0)
@@ -297,7 +309,7 @@ func runFig8(p Params, w io.Writer) error {
 		cb := converged(series[1:], fair, 0.3, 2)
 
 		// (b) credit waste of a single-packet flow on an idle network.
-		eng2 := sim.New(p.Seed + 1)
+		eng2 := t.Engine(p.Seed + 1)
 		d2 := rttDumbbell(eng2, 2, 10*unit.Gbps, rtt, topology.Config{})
 		fp := transport.NewFlow(d2.Net, d2.Senders[0], d2.Receivers[0], 1000, 0)
 		sess := core.Dial(fp, cfg)
@@ -307,7 +319,10 @@ func runFig8(p Params, w io.Writer) error {
 		if cb >= 0 {
 			conv = fmt.Sprintf("%d", cb+1)
 		}
-		tbl.Add(fmt.Sprintf("1/%g", 1/alpha), conv, sess.CreditsWasted())
+		return []any{fmt.Sprintf("1/%g", 1/alpha), conv, sess.CreditsWasted()}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -334,34 +349,37 @@ func runFig9(p Params, w io.Writer) error {
 		}
 		return h
 	}()...)...)
-	utils := make([][]float64, len(flows))
+	// One trial per (flows, cap) cell; "best" is a cross-trial maximum,
+	// so it is computed after the whole grid has run (a barrier the
+	// serial code had implicitly).
+	utils := runner.Map(len(flows)*len(caps), func(t *runner.T, cell int) float64 {
+		n, cq := flows[cell/len(caps)], caps[cell%len(caps)]
+		eng := t.Engine(p.Seed)
+		st := topology.NewStar(eng, n+1, topology.Config{
+			LinkRate: 10 * unit.Gbps, CreditQueueCap: cq})
+		cfg := core.Config{BaseRTT: 30 * sim.Microsecond}
+		for i := 1; i <= n; i++ {
+			f := transport.NewFlow(st.Net, st.Hosts[i], st.Hosts[0], 0, 0)
+			core.Dial(f, cfg)
+		}
+		warm := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+		eng.RunUntil(warm)
+		st.Net.ResetStats()
+		meas := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
+		eng.RunFor(meas)
+		bn := st.DownPort(0)
+		return bn.DataUtilization(meas)
+	})
 	best := 0.0
-	for fi, n := range flows {
-		for _, cq := range caps {
-			eng := sim.New(p.Seed)
-			st := topology.NewStar(eng, n+1, topology.Config{
-				LinkRate: 10 * unit.Gbps, CreditQueueCap: cq})
-			cfg := core.Config{BaseRTT: 30 * sim.Microsecond}
-			for i := 1; i <= n; i++ {
-				f := transport.NewFlow(st.Net, st.Hosts[i], st.Hosts[0], 0, 0)
-				core.Dial(f, cfg)
-			}
-			warm := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
-			eng.RunUntil(warm)
-			st.Net.ResetStats()
-			meas := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
-			eng.RunFor(meas)
-			bn := st.DownPort(0)
-			util := bn.DataUtilization(meas)
-			utils[fi] = append(utils[fi], util)
-			if util > best {
-				best = util
-			}
+	for _, u := range utils {
+		if u > best {
+			best = u
 		}
 	}
 	for fi, n := range flows {
 		row := []any{n}
-		for _, u := range utils[fi] {
+		for ci := range caps {
+			u := utils[fi*len(caps)+ci]
 			row = append(row, fmt.Sprintf("%.2f%%", (best-u)/best*100))
 		}
 		tbl.Add(row...)

@@ -6,6 +6,7 @@ import (
 
 	"expresspass/internal/core"
 	"expresspass/internal/netem"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -26,33 +27,36 @@ func init() {
 
 func runFig10(p Params, w io.Writer) error {
 	tbl := NewTable("bottlenecks", "naive util", "feedback util")
-	for n := 1; n <= 6; n++ {
-		row := []any{n}
-		for _, naive := range []bool{true, false} {
-			eng := sim.New(p.Seed)
-			pl := topology.NewParkingLot(eng, n, topology.Config{LinkRate: 10 * unit.Gbps})
-			cfg := core.Config{BaseRTT: 100 * sim.Microsecond, Naive: naive}
-			f0 := transport.NewFlow(pl.Net, pl.LongSrc, pl.LongDst, 0, 0)
-			core.Dial(f0, cfg)
-			for i := 0; i < n; i++ {
-				f := transport.NewFlow(pl.Net, pl.CrossSrc[i], pl.CrossDst[i], 0, 0)
-				core.Dial(f, cfg)
-			}
-			warm := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
-			eng.RunUntil(warm)
-			pl.Net.ResetStats()
-			meas := p.scaleDur(40*sim.Millisecond, 15*sim.Millisecond)
-			eng.RunFor(meas)
-			lowest := 1.0
-			for _, link := range pl.Links {
-				u := link.DataUtilization(meas) / dataShare
-				if u < lowest {
-					lowest = u
-				}
-			}
-			row = append(row, fmt.Sprintf("%.1f%%", lowest*100))
+	const maxN = 6
+	schemes := []bool{true, false} // naive, feedback
+	utils := runner.Map(maxN*len(schemes), func(t *runner.T, cell int) string {
+		n, naive := cell/len(schemes)+1, schemes[cell%len(schemes)]
+		eng := t.Engine(p.Seed)
+		pl := topology.NewParkingLot(eng, n, topology.Config{LinkRate: 10 * unit.Gbps})
+		cfg := core.Config{BaseRTT: 100 * sim.Microsecond, Naive: naive}
+		f0 := transport.NewFlow(pl.Net, pl.LongSrc, pl.LongDst, 0, 0)
+		core.Dial(f0, cfg)
+		for i := 0; i < n; i++ {
+			f := transport.NewFlow(pl.Net, pl.CrossSrc[i], pl.CrossDst[i], 0, 0)
+			core.Dial(f, cfg)
 		}
-		tbl.Add(row...)
+		warm := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
+		eng.RunUntil(warm)
+		pl.Net.ResetStats()
+		meas := p.scaleDur(40*sim.Millisecond, 15*sim.Millisecond)
+		eng.RunFor(meas)
+		lowest := 1.0
+		for _, link := range pl.Links {
+			u := link.DataUtilization(meas) / dataShare
+			if u < lowest {
+				lowest = u
+			}
+		}
+		return fmt.Sprintf("%.1f%%", lowest*100)
+	})
+	for n := 1; n <= maxN; n++ {
+		base := (n - 1) * len(schemes)
+		tbl.Add(n, utils[base], utils[base+1])
 	}
 	fmt.Fprintln(w, "lowest link utilization (normalized by max data rate):")
 	tbl.Write(w)
@@ -73,27 +77,29 @@ func init() {
 func runFig11(p Params, w io.Writer) error {
 	tbl := NewTable("N", "max-min ideal Gbps", "naive Gbps", "feedback Gbps")
 	counts := dedupe([]int{1, 4, 16, 64, p.scaleInt(256, 64)})
-	for _, n := range counts {
-		ideal := maxGoodputGbps(10*unit.Gbps) / float64(n+1)
-		row := []any{n, ideal}
-		for _, naive := range []bool{true, false} {
-			eng := sim.New(p.Seed)
-			mb := topology.NewMultiBottleneck(eng, n, topology.Config{LinkRate: 10 * unit.Gbps})
-			cfg := core.Config{BaseRTT: 100 * sim.Microsecond, Naive: naive}
-			f0 := transport.NewFlow(mb.Net, mb.Flow0Src, mb.Flow0Dst, 0, 0)
-			core.Dial(f0, cfg)
-			for i := 0; i < n; i++ {
-				f := transport.NewFlow(mb.Net, mb.Srcs[i], mb.Dsts[i], 0, 0)
-				core.Dial(f, cfg)
-			}
-			warm := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
-			eng.RunUntil(warm)
-			f0.TakeDeliveredDelta()
-			meas := p.scaleDur(40*sim.Millisecond, 15*sim.Millisecond)
-			eng.RunFor(meas)
-			row = append(row, gbps(f0.TakeDeliveredDelta(), meas))
+	schemes := []bool{true, false} // naive, feedback
+	rates := runner.Map(len(counts)*len(schemes), func(t *runner.T, cell int) float64 {
+		n, naive := counts[cell/len(schemes)], schemes[cell%len(schemes)]
+		eng := t.Engine(p.Seed)
+		mb := topology.NewMultiBottleneck(eng, n, topology.Config{LinkRate: 10 * unit.Gbps})
+		cfg := core.Config{BaseRTT: 100 * sim.Microsecond, Naive: naive}
+		f0 := transport.NewFlow(mb.Net, mb.Flow0Src, mb.Flow0Dst, 0, 0)
+		core.Dial(f0, cfg)
+		for i := 0; i < n; i++ {
+			f := transport.NewFlow(mb.Net, mb.Srcs[i], mb.Dsts[i], 0, 0)
+			core.Dial(f, cfg)
 		}
-		tbl.Add(row...)
+		warm := p.scaleDur(20*sim.Millisecond, 8*sim.Millisecond)
+		eng.RunUntil(warm)
+		f0.TakeDeliveredDelta()
+		meas := p.scaleDur(40*sim.Millisecond, 15*sim.Millisecond)
+		eng.RunFor(meas)
+		return gbps(f0.TakeDeliveredDelta(), meas)
+	})
+	for ci, n := range counts {
+		ideal := maxGoodputGbps(10*unit.Gbps) / float64(n+1)
+		base := ci * len(schemes)
+		tbl.Add(n, ideal, rates[base], rates[base+1])
 	}
 	tbl.Write(w)
 	return nil
@@ -113,8 +119,12 @@ func init() {
 func runFig13(p Params, w io.Writer) error {
 	rtt := 25 * sim.Microsecond
 	phase := p.scaleDur(1*sim.Second, 25*sim.Millisecond)
-	for _, proto := range []Proto{ProtoExpressPass, ProtoDCTCP} {
-		eng := sim.New(p.Seed)
+	protos := []Proto{ProtoExpressPass, ProtoDCTCP}
+	// Each protocol prints a free-form section (header + table), so the
+	// sweep buffers whole sections and stitches them in order.
+	return runner.Sweep(len(protos), w, func(t *runner.T, i int, w io.Writer) error {
+		proto := protos[i]
+		eng := t.Engine(p.Seed)
 		tcfg := topology.Config{}
 		proto.Features(&tcfg, rtt)
 		d := rttDumbbell(eng, 5, 10*unit.Gbps, rtt, tcfg)
@@ -166,8 +176,8 @@ func runFig13(p Params, w io.Writer) error {
 				float64(bn.DataStats().MaxBytes)/1e3)
 		}
 		tbl.Write(w)
-	}
-	return nil
+		return nil
+	})
 }
 
 // ---- Fig 15: flow scalability ----
@@ -185,53 +195,56 @@ func runFig15(p Params, w io.Writer) error {
 	rtt := 100 * sim.Microsecond
 	counts := dedupe([]int{4, 16, 64, 256, p.scaleInt(1024, 256)})
 	tbl := NewTable("flows", "proto", "util Gbps", "jain", "maxQ KB", "data drops", "timeouts")
-	for _, n := range counts {
-		for _, proto := range []Proto{ProtoExpressPass, ProtoDCTCP, ProtoRCP} {
-			eng := sim.New(p.Seed)
-			tcfg := topology.Config{}
-			proto.Features(&tcfg, rtt)
-			d := rttDumbbell(eng, n, 10*unit.Gbps, rtt, tcfg)
-			env := &Env{Eng: eng, Net: d.Net, BaseRTT: rtt,
-				XP: core.Config{}, Conn: transport.ConnConfig{}}
-			var flows []*transport.Flow
-			var timeouts func() uint64
-			var conns []*transport.Conn
-			for i := 0; i < n; i++ {
-				// Unsynchronized long-running flows.
-				f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 0,
-					sim.Duration(i)*73*sim.Microsecond)
-				flows = append(flows, f)
-				h := env.Dial(proto, f)
-				if ch, ok := h.(connHandle); ok {
-					conns = append(conns, ch.c)
-				}
+	protos := []Proto{ProtoExpressPass, ProtoDCTCP, ProtoRCP}
+	rows := runner.Map(len(counts)*len(protos), func(t *runner.T, cell int) []any {
+		n, proto := counts[cell/len(protos)], protos[cell%len(protos)]
+		eng := t.Engine(p.Seed)
+		tcfg := topology.Config{}
+		proto.Features(&tcfg, rtt)
+		d := rttDumbbell(eng, n, 10*unit.Gbps, rtt, tcfg)
+		env := &Env{Eng: eng, Net: d.Net, BaseRTT: rtt,
+			XP: core.Config{}, Conn: transport.ConnConfig{}}
+		var flows []*transport.Flow
+		var timeouts func() uint64
+		var conns []*transport.Conn
+		for i := 0; i < n; i++ {
+			// Unsynchronized long-running flows.
+			f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 0,
+				sim.Duration(i)*73*sim.Microsecond)
+			flows = append(flows, f)
+			h := env.Dial(proto, f)
+			if ch, ok := h.(connHandle); ok {
+				conns = append(conns, ch.c)
 			}
-			timeouts = func() uint64 {
-				var t uint64
-				for _, c := range conns {
-					t += c.Timeouts
-				}
-				return t
-			}
-			warm := p.scaleDur(60*sim.Millisecond, 20*sim.Millisecond)
-			eng.RunUntil(warm)
-			d.Net.ResetStats()
-			for _, f := range flows {
-				f.TakeDeliveredDelta()
-			}
-			meas := p.scaleDur(100*sim.Millisecond, 50*sim.Millisecond)
-			eng.RunFor(meas)
-			var rates []float64
-			for _, f := range flows {
-				rates = append(rates, gbps(f.TakeDeliveredDelta(), meas))
-			}
-			// Utilization measured at the bottleneck egress (wire bytes
-			// of data actually transmitted during the window).
-			util := float64(d.Bottleneck.Stats().TxDataBytes) * 8 / meas.Seconds() / 1e9
-			tbl.Add(n, string(proto), util, stats.JainIndex(rates),
-				float64(d.Bottleneck.DataStats().MaxBytes)/1e3,
-				d.Net.TotalDataDrops(), timeouts())
 		}
+		timeouts = func() uint64 {
+			var t uint64
+			for _, c := range conns {
+				t += c.Timeouts
+			}
+			return t
+		}
+		warm := p.scaleDur(60*sim.Millisecond, 20*sim.Millisecond)
+		eng.RunUntil(warm)
+		d.Net.ResetStats()
+		for _, f := range flows {
+			f.TakeDeliveredDelta()
+		}
+		meas := p.scaleDur(100*sim.Millisecond, 50*sim.Millisecond)
+		eng.RunFor(meas)
+		var rates []float64
+		for _, f := range flows {
+			rates = append(rates, gbps(f.TakeDeliveredDelta(), meas))
+		}
+		// Utilization measured at the bottleneck egress (wire bytes
+		// of data actually transmitted during the window).
+		util := float64(d.Bottleneck.Stats().TxDataBytes) * 8 / meas.Seconds() / 1e9
+		return []any{n, string(proto), util, stats.JainIndex(rates),
+			float64(d.Bottleneck.DataStats().MaxBytes) / 1e3,
+			d.Net.TotalDataDrops(), timeouts()}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -267,40 +280,43 @@ func runFig16(p Params, w io.Writer) error {
 		{"dctcp", ProtoDCTCP, 0, p.scaleInt(6000, 1200), 10, 0.8},
 	}
 	tbl := NewTable("scheme", "link", "conv RTTs", "fair Gbps")
-	for _, rate := range []unit.Rate{10 * unit.Gbps, 100 * unit.Gbps} {
-		for _, a := range arms {
-			eng := sim.New(p.Seed)
-			tcfg := topology.Config{}
-			a.proto.Features(&tcfg, rtt)
-			if rate >= 100*unit.Gbps {
-				// Scale switch buffering and marking with BDP.
-				tcfg.DataCapacity = 4 * unit.MB
-			}
-			d := rttDumbbell(eng, 2, rate, rtt, tcfg)
-			env := &Env{Eng: eng, Net: d.Net, BaseRTT: rtt,
-				XP:   core.Config{Alpha: a.alpha, WInit: a.alpha},
-				Conn: transport.ConnConfig{}}
-			f0 := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 0, 0)
-			env.Dial(a.proto, f0)
-			warm := p.scaleDur(100*sim.Millisecond, 30*sim.Millisecond)
-			eng.RunUntil(warm)
-			f1 := transport.NewFlow(d.Net, d.Senders[1], d.Receivers[1], 0, eng.Now())
-			env.Dial(a.proto, f1)
-			f0.TakeDeliveredDelta()
-			f1.TakeDeliveredDelta()
-			bin := sim.Duration(a.binRTTs) * rtt
-			series := binRates(eng, []*transport.Flow{f0, f1}, bin, a.maxRTTs/a.binRTTs)
-			fair := maxGoodputGbps(rate) / 2
-			if a.proto != ProtoExpressPass {
-				fair = rate.Gbits() * float64(unit.MTUPayload) / float64(unit.MaxFrame) / 2
-			}
-			cb := equalized(series, 2*fair, a.ratio, 3)
-			conv := fmt.Sprintf(">%d", a.maxRTTs)
-			if cb >= 0 {
-				conv = fmt.Sprintf("%d", (cb+1)*a.binRTTs)
-			}
-			tbl.Add(a.label, rate.String(), conv, fair)
+	speeds := []unit.Rate{10 * unit.Gbps, 100 * unit.Gbps}
+	rows := runner.Map(len(speeds)*len(arms), func(t *runner.T, cell int) []any {
+		rate, a := speeds[cell/len(arms)], arms[cell%len(arms)]
+		eng := t.Engine(p.Seed)
+		tcfg := topology.Config{}
+		a.proto.Features(&tcfg, rtt)
+		if rate >= 100*unit.Gbps {
+			// Scale switch buffering and marking with BDP.
+			tcfg.DataCapacity = 4 * unit.MB
 		}
+		d := rttDumbbell(eng, 2, rate, rtt, tcfg)
+		env := &Env{Eng: eng, Net: d.Net, BaseRTT: rtt,
+			XP:   core.Config{Alpha: a.alpha, WInit: a.alpha},
+			Conn: transport.ConnConfig{}}
+		f0 := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 0, 0)
+		env.Dial(a.proto, f0)
+		warm := p.scaleDur(100*sim.Millisecond, 30*sim.Millisecond)
+		eng.RunUntil(warm)
+		f1 := transport.NewFlow(d.Net, d.Senders[1], d.Receivers[1], 0, eng.Now())
+		env.Dial(a.proto, f1)
+		f0.TakeDeliveredDelta()
+		f1.TakeDeliveredDelta()
+		bin := sim.Duration(a.binRTTs) * rtt
+		series := binRates(eng, []*transport.Flow{f0, f1}, bin, a.maxRTTs/a.binRTTs)
+		fair := maxGoodputGbps(rate) / 2
+		if a.proto != ProtoExpressPass {
+			fair = rate.Gbits() * float64(unit.MTUPayload) / float64(unit.MaxFrame) / 2
+		}
+		cb := equalized(series, 2*fair, a.ratio, 3)
+		conv := fmt.Sprintf(">%d", a.maxRTTs)
+		if cb >= 0 {
+			conv = fmt.Sprintf("%d", (cb+1)*a.binRTTs)
+		}
+		return []any{a.label, rate.String(), conv, fair}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil

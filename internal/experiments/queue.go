@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"expresspass/internal/core"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -27,45 +28,58 @@ func init() {
 func runFig1(p Params, w io.Writer) error {
 	rtt := 50 * sim.Microsecond
 	fanouts := dedupe([]int{32, 64, 128, p.scaleInt(512, 128), p.scaleInt(2048, 128)})
-	tbl := NewTable("fanout", "proto", "maxQ pkts", "avgQ KB", "drops")
+	protos := []Proto{ProtoIdeal, ProtoDCTCP, ProtoExpressPass}
+	type arm struct {
+		fanout int
+		proto  Proto
+	}
+	var arms []arm
 	for _, fanout := range fanouts {
-		for _, proto := range []Proto{ProtoIdeal, ProtoDCTCP, ProtoExpressPass} {
-			eng := sim.New(p.Seed)
-			tcfg := topology.Config{
-				LinkRate: 10 * unit.Gbps,
-				// Deep buffer so the queue growth itself is visible
-				// rather than truncated by drops (the paper's red
-				// "max bound" line).
-				DataCapacity: 16 * unit.MB,
-			}
-			proto.Features(&tcfg, rtt)
-			ft := topology.NewFatTree(eng, 4, tcfg)
-			hosts := ft.Hosts
-			master := hosts[0]
-			env := &Env{Eng: eng, Net: ft.Net, BaseRTT: rtt,
-				XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
-				Conn: transport.ConnConfig{}}
-			// The master continuously requests from `fanout` workers
-			// over persistent connections (§2); model the responses as
-			// backlogged worker→master streams whose starts are
-			// staggered by the serialized 200 B request fan-out.
-			rng := eng.Rand().Fork()
-			for i := 0; i < fanout; i++ {
-				worker := hosts[1+i%(len(hosts)-1)]
-				start := sim.Duration(i)*190*sim.Nanosecond +
-					rng.Range(0, 2*sim.Microsecond)
-				f := transport.NewFlow(ft.Net, worker, master, 0, start)
-				env.Dial(proto, f)
-			}
-			// The master's ToR downlink is the incast bottleneck.
-			bn := master.NIC().Peer()
-			eng.RunUntil(p.scaleDur(60*sim.Millisecond, 20*sim.Millisecond))
-			st := bn.DataStats()
-			tbl.Add(fanout, string(proto),
-				float64(st.MaxBytes)/float64(unit.MaxFrame),
-				st.AvgBytes(eng.Now(), bn.DataQueueBytes())/1e3,
-				st.Drops)
+		for _, proto := range protos {
+			arms = append(arms, arm{fanout, proto})
 		}
+	}
+	rows := runner.Map(len(arms), func(t *runner.T, i int) []any {
+		fanout, proto := arms[i].fanout, arms[i].proto
+		eng := t.Engine(p.Seed)
+		tcfg := topology.Config{
+			LinkRate: 10 * unit.Gbps,
+			// Deep buffer so the queue growth itself is visible
+			// rather than truncated by drops (the paper's red
+			// "max bound" line).
+			DataCapacity: 16 * unit.MB,
+		}
+		proto.Features(&tcfg, rtt)
+		ft := topology.NewFatTree(eng, 4, tcfg)
+		hosts := ft.Hosts
+		master := hosts[0]
+		env := &Env{Eng: eng, Net: ft.Net, BaseRTT: rtt,
+			XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
+			Conn: transport.ConnConfig{}}
+		// The master continuously requests from `fanout` workers
+		// over persistent connections (§2); model the responses as
+		// backlogged worker→master streams whose starts are
+		// staggered by the serialized 200 B request fan-out.
+		rng := eng.Rand().Fork()
+		for i := 0; i < fanout; i++ {
+			worker := hosts[1+i%(len(hosts)-1)]
+			start := sim.Duration(i)*190*sim.Nanosecond +
+				rng.Range(0, 2*sim.Microsecond)
+			f := transport.NewFlow(ft.Net, worker, master, 0, start)
+			env.Dial(proto, f)
+		}
+		// The master's ToR downlink is the incast bottleneck.
+		bn := master.NIC().Peer()
+		eng.RunUntil(p.scaleDur(60*sim.Millisecond, 20*sim.Millisecond))
+		st := bn.DataStats()
+		return []any{fanout, string(proto),
+			float64(st.MaxBytes) / float64(unit.MaxFrame),
+			st.AvgBytes(eng.Now(), bn.DataQueueBytes()) / 1e3,
+			st.Drops}
+	})
+	tbl := NewTable("fanout", "proto", "maxQ pkts", "avgQ KB", "drops")
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	fmt.Fprintln(w, "(paper's max-bound line grows with fan-out; credit-based stays flat)")
@@ -93,9 +107,10 @@ func runFig17(p Params, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "hosts=%d tasksPerHost=%d bytesPerPair=%v flows=%d\n",
 		hosts, tasks, bytes, hosts*(hosts-1)*tasks*tasks)
-	tbl := NewTable("proto", "median FCT", "99% FCT", "max FCT", "drops", "finished")
-	for _, proto := range []Proto{ProtoExpressPass, ProtoDCTCP} {
-		eng := sim.New(p.Seed)
+	protos := []Proto{ProtoExpressPass, ProtoDCTCP}
+	rows := runner.Map(len(protos), func(t *runner.T, i int) []any {
+		proto := protos[i]
+		eng := t.Engine(p.Seed)
 		tcfg := topology.Config{LinkRate: 10 * unit.Gbps}
 		proto.Features(&tcfg, rtt)
 		st := topology.NewStar(eng, hosts, tcfg)
@@ -126,10 +141,14 @@ func runFig17(p Params, w io.Writer) error {
 			}
 		}
 		s := stats.Summarize(fcts)
-		tbl.Add(string(proto),
+		return []any{string(proto),
 			fmt.Sprintf("%.4gs", s.P50), fmt.Sprintf("%.4gs", s.P99),
 			fmt.Sprintf("%.4gs", s.Max), st.Net.TotalDataDrops(),
-			fmt.Sprintf("%d/%d", finished, len(flows)))
+			fmt.Sprintf("%d/%d", finished, len(flows))}
+	})
+	tbl := NewTable("proto", "median FCT", "99% FCT", "max FCT", "drops", "finished")
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil

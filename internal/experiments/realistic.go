@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"expresspass/internal/core"
+	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
@@ -53,8 +54,10 @@ func (r realisticResult) wasteRatio() float64 {
 }
 
 // runRealistic executes one workload run on the oversubscribed fabric.
-func runRealistic(p Params, rc realisticCfg) realisticResult {
-	eng := sim.New(p.Seed)
+// It is always called as a runner sweep trial: t supplies the trial's
+// engine so instrumentation binds to the right scope.
+func runRealistic(t *runner.T, p Params, rc realisticCfg) realisticResult {
+	eng := t.Engine(p.Seed)
 	baseRTT := 52 * sim.Microsecond
 	tcfg := topology.Config{LinkRate: rc.linkRate, CoreRate: rc.linkRate}
 	rc.proto.Features(&tcfg, baseRTT)
@@ -188,17 +191,19 @@ func runFig18(p Params, w io.Writer) error {
 	}
 	dists := []*workload.SizeDist{workload.DataMining(), workload.CacheFollower(), workload.WebServer()}
 	tbl := NewTable("alpha/winit", "workload", "99% FCT S", "99% FCT L")
-	for _, c := range combos {
-		for _, d := range dists {
-			res := runRealistic(p, realisticCfg{
-				proto: ProtoExpressPass, dist: d, load: 0.6,
-				linkRate: 10 * unit.Gbps, alpha: c.a, winit: c.wi,
-			})
-			s := stats.Percentile(res.fcts("S"), 99)
-			l := stats.Percentile(res.fcts("L"), 99)
-			tbl.Add(fmt.Sprintf("1/%g / 1/%g", 1/c.a, 1/c.wi), d.Name,
-				fmt.Sprintf("%.3gms", s*1e3), fmt.Sprintf("%.3gms", l*1e3))
-		}
+	rows := runner.Map(len(combos)*len(dists), func(t *runner.T, cell int) []any {
+		c, d := combos[cell/len(dists)], dists[cell%len(dists)]
+		res := runRealistic(t, p, realisticCfg{
+			proto: ProtoExpressPass, dist: d, load: 0.6,
+			linkRate: 10 * unit.Gbps, alpha: c.a, winit: c.wi,
+		})
+		s := stats.Percentile(res.fcts("S"), 99)
+		l := stats.Percentile(res.fcts("L"), 99)
+		return []any{fmt.Sprintf("1/%g / 1/%g", 1/c.a, 1/c.wi), d.Name,
+			fmt.Sprintf("%.3gms", s*1e3), fmt.Sprintf("%.3gms", l*1e3)}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -218,21 +223,24 @@ func init() {
 func runFig19(p Params, w io.Writer) error {
 	dists := []*workload.SizeDist{workload.WebServer(), workload.CacheFollower(), workload.DataMining()}
 	tbl := NewTable("workload", "proto", "S avg/99 ms", "M avg/99 ms", "L avg/99 ms", "XL avg/99 ms", "fin")
-	for _, d := range dists {
-		for _, proto := range EvalProtos() {
-			res := runRealistic(p, realisticCfg{
-				proto: proto, dist: d, load: 0.6, linkRate: 10 * unit.Gbps,
-			})
-			cell := func(cls string) string {
-				xs := res.fcts(cls)
-				if len(xs) == 0 {
-					return "-"
-				}
-				return fmt.Sprintf("%.3g/%.3g", stats.Mean(xs)*1e3, stats.Percentile(xs, 99)*1e3)
+	protos := EvalProtos()
+	rows := runner.Map(len(dists)*len(protos), func(t *runner.T, i int) []any {
+		d, proto := dists[i/len(protos)], protos[i%len(protos)]
+		res := runRealistic(t, p, realisticCfg{
+			proto: proto, dist: d, load: 0.6, linkRate: 10 * unit.Gbps,
+		})
+		cell := func(cls string) string {
+			xs := res.fcts(cls)
+			if len(xs) == 0 {
+				return "-"
 			}
-			tbl.Add(d.Name, string(proto), cell("S"), cell("M"), cell("L"), cell("XL"),
-				fmt.Sprintf("%d/%d", res.finished, res.total))
+			return fmt.Sprintf("%.3g/%.3g", stats.Mean(xs)*1e3, stats.Percentile(xs, 99)*1e3)
 		}
+		return []any{d.Name, string(proto), cell("S"), cell("M"), cell("L"), cell("XL"),
+			fmt.Sprintf("%d/%d", res.finished, res.total)}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil
@@ -251,16 +259,27 @@ func init() {
 
 func runFig20(p Params, w io.Writer) error {
 	tbl := NewTable("workload", "10G a=1/16", "10G a=1/2", "40G a=1/16", "40G a=1/2")
-	for _, d := range workload.AllDists() {
+	dists := workload.AllDists()
+	type arm struct {
+		rate  unit.Rate
+		alpha float64
+	}
+	arms := []arm{
+		{10 * unit.Gbps, 1.0 / 16}, {10 * unit.Gbps, 0.5},
+		{40 * unit.Gbps, 1.0 / 16}, {40 * unit.Gbps, 0.5},
+	}
+	wastes := runner.Map(len(dists)*len(arms), func(t *runner.T, cell int) string {
+		d, a := dists[cell/len(arms)], arms[cell%len(arms)]
+		res := runRealistic(t, p, realisticCfg{
+			proto: ProtoExpressPass, dist: d, load: 0.6,
+			linkRate: a.rate, alpha: a.alpha, winit: a.alpha,
+		})
+		return fmt.Sprintf("%.1f%%", res.wasteRatio()*100)
+	})
+	for di, d := range dists {
 		row := []any{d.Name}
-		for _, rate := range []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps} {
-			for _, a := range []float64{1.0 / 16, 0.5} {
-				res := runRealistic(p, realisticCfg{
-					proto: ProtoExpressPass, dist: d, load: 0.6,
-					linkRate: rate, alpha: a, winit: a,
-				})
-				row = append(row, fmt.Sprintf("%.1f%%", res.wasteRatio()*100))
-			}
+		for ai := range arms {
+			row = append(row, wastes[di*len(arms)+ai])
 		}
 		tbl.Add(row...)
 	}
@@ -282,14 +301,22 @@ func init() {
 func runFig21(p Params, w io.Writer) error {
 	dists := []*workload.SizeDist{workload.WebServer(), workload.WebSearch()}
 	tbl := NewTable("workload", "proto", "S speedup", "M speedup", "L speedup", "XL speedup")
-	for _, d := range dists {
-		for _, proto := range EvalProtos() {
-			var byRate [2]realisticResult
-			for i, rate := range []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps} {
-				byRate[i] = runRealistic(p, realisticCfg{
-					proto: proto, dist: d, load: 0.6, linkRate: rate,
-				})
-			}
+	protos := EvalProtos()
+	speeds := []unit.Rate{10 * unit.Gbps, 40 * unit.Gbps}
+	// One trial per (workload, proto, link speed); the 10G/40G pair for a
+	// row is recombined from adjacent cells below.
+	results := runner.Map(len(dists)*len(protos)*len(speeds), func(t *runner.T, cell int) realisticResult {
+		d := dists[cell/(len(protos)*len(speeds))]
+		proto := protos[cell/len(speeds)%len(protos)]
+		rate := speeds[cell%len(speeds)]
+		return runRealistic(t, p, realisticCfg{
+			proto: proto, dist: d, load: 0.6, linkRate: rate,
+		})
+	})
+	for di, d := range dists {
+		for pi, proto := range protos {
+			base := (di*len(protos) + pi) * len(speeds)
+			byRate := results[base : base+2]
 			cell := func(cls string) string {
 				a, b := byRate[0].fcts(cls), byRate[1].fcts(cls)
 				if len(a) == 0 || len(b) == 0 {
@@ -318,18 +345,22 @@ func init() {
 func runTable3(p Params, w io.Writer) error {
 	loads := []float64{0.2, 0.4, 0.6}
 	tbl := NewTable("workload", "load", "proto", "avgQ KB", "maxQ KB", "drops")
-	for _, d := range workload.AllDists() {
-		for _, load := range loads {
-			for _, proto := range EvalProtos() {
-				res := runRealistic(p, realisticCfg{
-					proto: proto, dist: d, load: load, linkRate: 10 * unit.Gbps,
-				})
-				tbl.Add(d.Name, load, string(proto),
-					fmt.Sprintf("%.2f", res.avgQueueKB),
-					fmt.Sprintf("%.1f", res.maxQueueKB),
-					res.dataDrops)
-			}
-		}
+	dists := workload.AllDists()
+	protos := EvalProtos()
+	rows := runner.Map(len(dists)*len(loads)*len(protos), func(t *runner.T, cell int) []any {
+		d := dists[cell/(len(loads)*len(protos))]
+		load := loads[cell/len(protos)%len(loads)]
+		proto := protos[cell%len(protos)]
+		res := runRealistic(t, p, realisticCfg{
+			proto: proto, dist: d, load: load, linkRate: 10 * unit.Gbps,
+		})
+		return []any{d.Name, load, string(proto),
+			fmt.Sprintf("%.2f", res.avgQueueKB),
+			fmt.Sprintf("%.1f", res.maxQueueKB),
+			res.dataDrops}
+	})
+	for _, row := range rows {
+		tbl.Add(row...)
 	}
 	tbl.Write(w)
 	return nil

@@ -12,10 +12,12 @@ import (
 	"expresspass/internal/unit"
 )
 
-// initObs attaches the network to the active runtime: engine
-// accounting always, tracing if the runtime has a tracer, and a
-// metrics registry plus sampler if a metrics CSV was requested.
-func (n *Network) initObs(rt *obs.Runtime) {
+// initObs attaches the network to an instrumentation scope — the
+// process-wide runtime on the serial path, or one sweep trial's
+// buffering scope under the parallel runner: engine accounting always,
+// tracing if the scope has a tracer, and a metrics registry plus
+// sampler if a metrics CSV was requested.
+func (n *Network) initObs(rt obs.Scope) {
 	n.rt = rt
 	n.tracer = rt.Tracer()
 	rt.AttachEngine(n.Eng)

@@ -28,7 +28,7 @@ type Network struct {
 	// case the simulation pays nothing beyond one nil check per hook).
 	tracer          *obs.Tracer
 	metrics         *obs.Registry
-	rt              *obs.Runtime
+	rt              obs.Scope
 	scope           string
 	flowMetricsLeft int
 }
@@ -40,7 +40,10 @@ type Network struct {
 func NewNetwork(eng *sim.Engine) *Network {
 	n := &Network{Eng: eng}
 	if rt := obs.Active(); rt != nil {
-		n.initObs(rt)
+		// ScopeFor routes to a per-trial scope when eng belongs to a
+		// runner sweep trial, so concurrent trials never share the
+		// runtime's tracer sink or metrics writer.
+		n.initObs(rt.ScopeFor(eng))
 	}
 	return n
 }

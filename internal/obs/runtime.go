@@ -49,6 +49,13 @@ type Runtime struct {
 	mw      *bufio.Writer
 	header  bool
 	scratch [64]byte
+
+	// Totals folded in from flushed runner trials (Trial.Flush). Trial
+	// engines never enter the engines list — they are read once, after
+	// their trial finishes, and accumulated here atomically so
+	// EngineTotals stays race-free while other trials are still running.
+	trialEvents atomic.Uint64
+	trialPeak   atomic.Int64
 }
 
 // NewRuntime returns a runtime for cfg.
@@ -110,17 +117,34 @@ func (rt *Runtime) AttachEngine(e *sim.Engine) {
 }
 
 // EngineTotals sums executed events and the maximum event-heap depth
-// across every engine attached so far.
+// across every engine attached so far, plus the totals of every
+// flushed runner trial.
 func (rt *Runtime) EngineTotals() (events uint64, peakHeap int) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	for _, e := range rt.engines {
 		events += e.Executed()
 		if p := e.MaxPending(); p > peakHeap {
 			peakHeap = p
 		}
 	}
+	rt.mu.Unlock()
+	events += rt.trialEvents.Load()
+	if p := int(rt.trialPeak.Load()); p > peakHeap {
+		peakHeap = p
+	}
 	return events, peakHeap
+}
+
+// addTrialTotals folds one flushed trial's engine totals into the
+// runtime's accumulators (events add; peak is a CAS max).
+func (rt *Runtime) addTrialTotals(events uint64, peak int) {
+	rt.trialEvents.Add(events)
+	for {
+		cur := rt.trialPeak.Load()
+		if int64(peak) <= cur || rt.trialPeak.CompareAndSwap(cur, int64(peak)) {
+			return
+		}
+	}
 }
 
 // WriteRow appends one metrics sample to the CSV. No-op when metrics

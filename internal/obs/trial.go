@@ -1,0 +1,187 @@
+package obs
+
+// Per-trial instrumentation scopes for the parallel sweep runner
+// (internal/runner). The Runtime's tracer sink and metrics writer are
+// single-writer by contract, so concurrent trials must not touch them
+// directly. Instead each trial records into a private Trial scope —
+// buffered trace events, buffered metrics rows, and its own engine
+// list — and the runner replays the buffers into the shared runtime in
+// submission order once the trial's result is being emitted. The merge
+// order therefore depends only on trial indices, never on goroutine
+// scheduling, which is what keeps trace and metrics files byte-identical
+// between serial and parallel runs.
+
+import (
+	"strconv"
+	"sync"
+
+	"expresspass/internal/sim"
+)
+
+// Scope is the instrumentation surface a network binds to at
+// construction time: the process-wide *Runtime itself on the serial
+// path, or a per-trial *Trial while a runner sweep is in flight. The
+// methods mirror what netem needs to wire tracing, engine accounting,
+// and the metrics sampler.
+type Scope interface {
+	// Tracer returns the scope's tracer, or nil when tracing is off.
+	Tracer() *Tracer
+	// MetricsEnabled reports whether metrics rows are being collected.
+	MetricsEnabled() bool
+	// Interval returns the metrics sampling period.
+	Interval() sim.Duration
+	// FlowMetricsCap returns the per-network flow-gauge budget.
+	FlowMetricsCap() int
+	// NextScope allocates a distinct metrics scope label.
+	NextScope() string
+	// AttachEngine registers an engine for aggregate accounting.
+	AttachEngine(e *sim.Engine)
+	// WriteRow appends one metrics sample.
+	WriteRow(t sim.Time, scope, metric string, v float64)
+}
+
+var (
+	_ Scope = (*Runtime)(nil)
+	_ Scope = (*Trial)(nil)
+)
+
+// trialBindings maps engines to the trial that owns them while a sweep
+// is in flight. netem.NewNetwork only knows its engine, so this is how
+// Runtime.ScopeFor routes a network built inside a worker goroutine to
+// that worker's trial scope instead of the shared runtime.
+var trialBindings sync.Map // *sim.Engine → *Trial
+
+// Trial is the buffering Scope for one sweep trial. It is owned by a
+// single worker goroutine until Flush, which the runner calls from the
+// sweep's coordinating goroutine in submission order.
+type Trial struct {
+	rt      *Runtime
+	idx     int
+	tracer  *Tracer
+	events  *sliceSink
+	rows    []trialRow
+	engines []*sim.Engine
+	scopes  int
+	done    bool
+}
+
+type trialRow struct {
+	t      sim.Time
+	scope  string
+	metric string
+	v      float64
+}
+
+// sliceSink buffers events in emission order for replay at Flush.
+type sliceSink struct{ events []Event }
+
+func (s *sliceSink) Record(ev Event) { s.events = append(s.events, ev) }
+func (s *sliceSink) Close() error    { return nil }
+
+// BeginTrial returns a fresh per-trial scope. idx is the trial's
+// submission index; it prefixes the trial's metrics scope labels
+// ("t3.0", "t3.1", …) so rows from different trials stay
+// distinguishable — and deterministically named — after the merge.
+func (rt *Runtime) BeginTrial(idx int) *Trial {
+	tr := &Trial{rt: rt, idx: idx}
+	if g := rt.cfg.Tracer; g != nil {
+		tr.events = &sliceSink{}
+		// Same type filter as the global tracer so the buffer only
+		// holds events that will survive the replay.
+		tr.tracer = &Tracer{sink: tr.events, mask: g.mask}
+	}
+	return tr
+}
+
+// BindEngine associates e with tr so networks built on e pick up the
+// trial scope. The runner calls this from T.Engine; nil tr is a no-op.
+func BindEngine(e *sim.Engine, tr *Trial) {
+	if tr != nil {
+		tr.AttachEngine(e)
+	}
+}
+
+// ScopeFor returns the scope a network built on e should bind to: e's
+// trial while a sweep owns it, otherwise the runtime itself.
+func (rt *Runtime) ScopeFor(e *sim.Engine) Scope {
+	if v, ok := trialBindings.Load(e); ok {
+		if tr := v.(*Trial); tr.rt == rt {
+			return tr
+		}
+	}
+	return rt
+}
+
+// Tracer returns the trial's buffering tracer (nil when the runtime
+// has no tracer).
+func (tr *Trial) Tracer() *Tracer { return tr.tracer }
+
+// MetricsEnabled reports whether the runtime is writing a metrics CSV.
+func (tr *Trial) MetricsEnabled() bool { return tr.rt.MetricsEnabled() }
+
+// Interval returns the runtime's metrics sampling period.
+func (tr *Trial) Interval() sim.Duration { return tr.rt.Interval() }
+
+// FlowMetricsCap returns the runtime's per-network flow-gauge budget.
+func (tr *Trial) FlowMetricsCap() int { return tr.rt.FlowMetricsCap() }
+
+// NextScope allocates a metrics scope label local to the trial.
+func (tr *Trial) NextScope() string {
+	s := "t" + strconv.Itoa(tr.idx) + "." + strconv.Itoa(tr.scopes)
+	tr.scopes++
+	return s
+}
+
+// AttachEngine registers e with the trial (idempotent) and binds it in
+// the global engine→trial table so ScopeFor can find the trial.
+func (tr *Trial) AttachEngine(e *sim.Engine) {
+	for _, have := range tr.engines {
+		if have == e {
+			return
+		}
+	}
+	tr.engines = append(tr.engines, e)
+	trialBindings.Store(e, tr)
+}
+
+// WriteRow buffers one metrics sample for replay at Flush.
+func (tr *Trial) WriteRow(t sim.Time, scope, metric string, v float64) {
+	if !tr.rt.MetricsEnabled() {
+		return
+	}
+	tr.rows = append(tr.rows, trialRow{t, scope, metric, v})
+}
+
+// Flush replays the trial's buffered trace events and metrics rows into
+// the shared runtime, folds its engines' totals into the runtime's
+// atomic accumulators, and unbinds the engines. The runner calls Flush
+// once per trial, in submission order, from a single goroutine — that
+// ordering is the determinism guarantee.
+func (tr *Trial) Flush() {
+	if tr.done {
+		return
+	}
+	tr.done = true
+	if tr.events != nil {
+		g := tr.rt.cfg.Tracer
+		for _, ev := range tr.events.events {
+			g.Emit(ev)
+		}
+		tr.events = nil
+	}
+	for _, r := range tr.rows {
+		tr.rt.WriteRow(r.t, r.scope, r.metric, r.v)
+	}
+	tr.rows = nil
+	var events uint64
+	var peak int
+	for _, e := range tr.engines {
+		trialBindings.Delete(e)
+		events += e.Executed()
+		if p := e.MaxPending(); p > peak {
+			peak = p
+		}
+	}
+	tr.engines = nil
+	tr.rt.addTrialTotals(events, peak)
+}

@@ -1,0 +1,192 @@
+// Package runner executes sweeps of independent simulation trials
+// across a pool of worker goroutines while keeping every observable
+// output byte-identical to a serial run.
+//
+// Every experiment in the repo is a sweep of independent trials — a
+// jitter grid, a flow-count series, a load×workload matrix — and each
+// trial builds its own sim.Engine, topology, and seed. Nothing couples
+// the trials except the order their results are printed in, so the
+// runner fans the bodies out across GOMAXPROCS goroutines and
+// reassembles the outputs in submission order.
+//
+// The determinism contract is simple and strict:
+//
+//   - A trial must create its engines through T.Engine (same seeds it
+//     would use serially). Engines are seeded, single-goroutine, and
+//     share no state, so a trial computes the same result on any
+//     worker.
+//   - Results (Map) and free-form output (Sweep) are emitted in
+//     submission order, never completion order.
+//   - Instrumentation is buffered per trial (obs.Trial) and replayed
+//     into the process-wide obs.Runtime in submission order, so trace
+//     and metrics files are byte-identical at any worker count too.
+//
+// SetProcs(1) forces the serial path; cmd/xpsim exposes it as -procs.
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"expresspass/internal/obs"
+	"expresspass/internal/sim"
+)
+
+var procs atomic.Int32
+
+// SetProcs sets the worker-pool width for subsequent sweeps: 1 forces
+// the serial path, 0 restores the default of runtime.GOMAXPROCS(0).
+func SetProcs(n int) {
+	if n < 0 {
+		n = 0
+	}
+	procs.Store(int32(n))
+}
+
+// Procs returns the effective worker count for a sweep.
+func Procs() int {
+	if p := procs.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+var trialCount atomic.Uint64
+
+// TrialsRun returns the number of sweep trials completed process-wide
+// (benchmarks use deltas of this for trials/sec).
+func TrialsRun() uint64 { return trialCount.Load() }
+
+// T is the per-trial context handed to sweep bodies.
+type T struct {
+	// Idx is the trial's submission index, 0-based.
+	Idx int
+
+	trial *obs.Trial
+}
+
+// Engine returns a fresh deterministic engine for seed, bound to the
+// trial's instrumentation scope so networks built on it route their
+// tracer and metrics through the trial's buffers. Trial bodies must
+// use this instead of sim.New — with the seeds the serial code used —
+// or their networks would attach to the shared runtime from a worker
+// goroutine.
+func (t *T) Engine(seed uint64) *sim.Engine {
+	eng := sim.New(seed)
+	obs.BindEngine(eng, t.trial)
+	return eng
+}
+
+// Map runs fn for every i in [0, n) and returns the results in
+// submission order. Bodies run concurrently on Procs() workers (serial
+// when Procs() is 1); fn must confine itself to trial-local state plus
+// read-only captures. A panicking trial is re-panicked — lowest index
+// first — on the calling goroutine after the pool drains.
+func Map[R any](n int, fn func(t *T, i int) R) []R {
+	out := make([]R, n)
+	if n <= 0 {
+		return out
+	}
+	rt := obs.Active()
+	if w := min(Procs(), n); w > 1 {
+		mapParallel(out, w, rt, fn)
+		return out
+	}
+	for i := 0; i < n; i++ {
+		t := &T{Idx: i}
+		if rt != nil {
+			t.trial = rt.BeginTrial(i)
+		}
+		out[i] = fn(t, i)
+		if t.trial != nil {
+			t.trial.Flush()
+		}
+		trialCount.Add(1)
+	}
+	return out
+}
+
+func mapParallel[R any](out []R, w int, rt *obs.Runtime, fn func(t *T, i int) R) {
+	n := len(out)
+	trials := make([]*obs.Trial, n)
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runTrial(out, trials, panics, &panicked, rt, fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	// Flush instrumentation in submission order — this, not worker
+	// scheduling, fixes the order trace events and metrics rows reach
+	// the shared runtime.
+	for _, tr := range trials {
+		if tr != nil {
+			tr.Flush()
+		}
+	}
+	if panicked.Load() {
+		for i, p := range panics {
+			if p != nil {
+				panic(fmt.Sprintf("runner: trial %d panicked: %v", i, p))
+			}
+		}
+	}
+}
+
+func runTrial[R any](out []R, trials []*obs.Trial, panics []any, panicked *atomic.Bool, rt *obs.Runtime, fn func(t *T, i int) R, i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+			panicked.Store(true)
+		}
+	}()
+	t := &T{Idx: i}
+	if rt != nil {
+		trials[i] = rt.BeginTrial(i)
+		t.trial = trials[i]
+	}
+	out[i] = fn(t, i)
+	trialCount.Add(1)
+}
+
+// Sweep runs n trials whose output is free-form text rather than table
+// cells: each body writes to a private buffer, and the buffers are
+// copied to w in submission order. All trials run even if one errors
+// (matching Map's semantics at every worker count); the first error in
+// submission order is returned after the buffers preceding — and
+// including — the failing trial have been written.
+func Sweep(n int, w io.Writer, fn func(t *T, i int, out io.Writer) error) error {
+	type result struct {
+		buf bytes.Buffer
+		err error
+	}
+	results := Map(n, func(t *T, i int) *result {
+		r := new(result)
+		r.err = fn(t, i, &r.buf)
+		return r
+	})
+	for _, r := range results {
+		if _, err := w.Write(r.buf.Bytes()); err != nil {
+			return err
+		}
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}

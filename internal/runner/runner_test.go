@@ -1,0 +1,256 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"expresspass/internal/obs"
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+)
+
+// withProcs runs f at the given worker count, restoring the default.
+func withProcs(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetProcs(n)
+	defer SetProcs(0)
+	f()
+}
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withProcs(t, procs, func() {
+			got := Map(100, func(_ *T, i int) int { return i * i })
+			for i, v := range got {
+				if v != i*i {
+					t.Fatalf("procs=%d: out[%d] = %d, want %d", procs, i, v, i*i)
+				}
+			}
+		})
+	}
+}
+
+func TestMapRunsEveryIndexOnce(t *testing.T) {
+	var ran [64]atomic.Int32
+	withProcs(t, 8, func() {
+		Map(len(ran), func(_ *T, i int) struct{} {
+			ran[i].Add(1)
+			return struct{}{}
+		})
+	})
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	if got := Map(0, func(_ *T, i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %d results", len(got))
+	}
+}
+
+// TestEngineDeterminismAcrossWorkerCounts runs the same seeded
+// simulation workload at 1 and GOMAXPROCS workers and requires
+// identical per-trial results: the byte-identity guarantee in miniature.
+func TestEngineDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(procs int) []uint64 {
+		var out []uint64
+		withProcs(t, procs, func() {
+			out = Map(16, func(tr *T, i int) uint64 {
+				eng := tr.Engine(uint64(i) + 7)
+				rng := eng.Rand()
+				var sum uint64
+				var tick func()
+				n := 0
+				tick = func() {
+					sum = sum*31 + rng.Uint64()
+					if n++; n < 50 {
+						eng.After(sim.Microsecond, tick)
+					}
+				}
+				eng.At(0, tick)
+				eng.Run()
+				return sum + eng.Executed()
+			})
+		})
+		return out
+	}
+	serial := run(1)
+	parallel := run(0) // default = GOMAXPROCS
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSweepEmitsBuffersInSubmissionOrder(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withProcs(t, procs, func() {
+			var buf bytes.Buffer
+			err := Sweep(10, &buf, func(_ *T, i int, out io.Writer) error {
+				fmt.Fprintf(out, "trial %d\n", i)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			for i := 0; i < 10; i++ {
+				fmt.Fprintf(&want, "trial %d\n", i)
+			}
+			if buf.String() != want.String() {
+				t.Fatalf("procs=%d: got:\n%s\nwant:\n%s", procs, buf.String(), want.String())
+			}
+		})
+	}
+}
+
+func TestSweepReturnsFirstErrorInSubmissionOrder(t *testing.T) {
+	withProcs(t, 4, func() {
+		var buf bytes.Buffer
+		err := Sweep(8, &buf, func(_ *T, i int, out io.Writer) error {
+			fmt.Fprintf(out, "%d;", i)
+			if i == 3 || i == 6 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Fatalf("err = %v, want boom 3", err)
+		}
+		if got, want := buf.String(), "0;1;2;3;"; got != want {
+			t.Fatalf("output %q, want %q", got, want)
+		}
+	})
+}
+
+func TestMapPropagatesLowestIndexPanic(t *testing.T) {
+	withProcs(t, 4, func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("no panic propagated")
+			}
+			if s, ok := r.(string); !ok || !strings.Contains(s, "trial 2") {
+				t.Fatalf("panic %v, want mention of trial 2", r)
+			}
+		}()
+		Map(16, func(_ *T, i int) int {
+			if i == 2 || i == 9 {
+				panic(fmt.Sprintf("bad trial %d", i))
+			}
+			return i
+		})
+	})
+}
+
+func TestTrialsRunCounter(t *testing.T) {
+	before := TrialsRun()
+	withProcs(t, 4, func() {
+		Map(12, func(_ *T, i int) int { return i })
+	})
+	if got := TrialsRun() - before; got != 12 {
+		t.Fatalf("TrialsRun advanced by %d, want 12", got)
+	}
+}
+
+// TestObsMergeByteIdentical installs a runtime with a trace sink and a
+// metrics writer, runs a traced workload under Map at several worker
+// counts, and requires the merged trace and metrics bytes — plus the
+// EngineTotals accounting — to be identical to the serial run.
+func TestObsMergeByteIdentical(t *testing.T) {
+	workload := func(tr *T, i int) uint64 {
+		eng := tr.Engine(uint64(i) + 1)
+		// Emit trace events through the scope the engine is bound to,
+		// exactly as netem does after NewNetwork → ScopeFor.
+		sc := obs.Active().ScopeFor(eng)
+		tc := sc.Tracer()
+		var tick func()
+		n := 0
+		tick = func() {
+			tc.Emit(obs.Event{T: eng.Now(), Type: obs.EvFeedback, Scope: "f", Flow: int64(i), Seq: int64(n), Val: float64(n)})
+			sc.WriteRow(eng.Now(), sc.NextScope(), "m", float64(i*100+n))
+			if n++; n < 5 {
+				eng.After(sim.Microsecond, tick)
+			}
+		}
+		eng.At(0, tick)
+		eng.Run()
+		return eng.Executed()
+	}
+	run := func(procs int) (trace, metrics string, events uint64, peak int) {
+		var tb, mb bytes.Buffer
+		rt := obs.NewRuntime(obs.Config{
+			Tracer:     obs.NewTracer(obs.NewJSONLSink(&tb)),
+			MetricsOut: &mb,
+		})
+		obs.SetActive(rt)
+		defer obs.SetActive(nil)
+		withProcs(t, procs, func() {
+			Map(9, workload)
+		})
+		events, peak = rt.EngineTotals()
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String(), mb.String(), events, peak
+	}
+	st, sm, se, sp := run(1)
+	for _, procs := range []int{2, 4, 0} {
+		pt, pm, pe, pp := run(procs)
+		if pt != st {
+			t.Fatalf("procs=%d: trace bytes differ\nserial:\n%s\nparallel:\n%s", procs, st, pt)
+		}
+		if pm != sm {
+			t.Fatalf("procs=%d: metrics bytes differ\nserial:\n%s\nparallel:\n%s", procs, sm, pm)
+		}
+		if pe != se || pp != sp {
+			t.Fatalf("procs=%d: totals (%d,%d) != serial (%d,%d)", procs, pe, pp, se, sp)
+		}
+	}
+	if se == 0 {
+		t.Fatal("EngineTotals reported zero events — trial totals not merged")
+	}
+}
+
+// TestPacketPoolSafeUnderParallelTrials hammers the shared sync.Pool
+// from many concurrent trials (run under -race via `make check`) and
+// checks the gets/puts balance afterwards.
+func TestPacketPoolSafeUnderParallelTrials(t *testing.T) {
+	before := packet.Live()
+	withProcs(t, 8, func() {
+		Map(64, func(tr *T, i int) int {
+			eng := tr.Engine(uint64(i))
+			var churn func()
+			n := 0
+			churn = func() {
+				held := make([]*packet.Packet, 16)
+				for k := range held {
+					p := packet.Get()
+					p.Flow = packet.FlowID(i)
+					p.Seq = int64(k)
+					held[k] = p
+				}
+				for _, p := range held {
+					packet.Put(p)
+				}
+				if n++; n < 20 {
+					eng.After(sim.Microsecond, churn)
+				}
+			}
+			eng.At(0, churn)
+			eng.Run()
+			return n
+		})
+	})
+	if live := packet.Live() - before; live != 0 {
+		t.Fatalf("pool imbalance after parallel trials: %d packets live", live)
+	}
+}
