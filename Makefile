@@ -15,7 +15,7 @@ check: vet
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
-	go test -race ./internal/sim/... ./internal/obs/... ./internal/runner/...
+	go test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/faults/...
 	go test -race -short ./internal/experiments/...
 	@echo "check: OK"
 

@@ -8,6 +8,7 @@
 //	xpsim -all
 //	xpsim -procs 8 table3
 //	xpsim -trace out.jsonl -metrics metrics.csv fig17
+//	xpsim -faults 'flap@10ms+2ms; stall:s0@30ms+1ms' ext-faults-flap
 //
 // Scale 1.0 reproduces the paper-scale configuration (hours of CPU);
 // the default scale runs laptop-fast shape checks.
@@ -55,11 +56,22 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	faultSpec := flag.String("faults", "",
+		"fault timeline for ext-faults-* experiments, e.g. 'flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms'")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
 		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	expresspass.SetSweepProcs(*procs)
+
+	if *faultSpec != "" {
+		plan, err := expresspass.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+			os.Exit(2)
+		}
+		expresspass.SetDefaultFaultPlan(plan)
+	}
 
 	if *list {
 		for _, e := range expresspass.Experiments() {

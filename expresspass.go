@@ -34,6 +34,7 @@ import (
 
 	"expresspass/internal/core"
 	"expresspass/internal/experiments"
+	"expresspass/internal/faults"
 	"expresspass/internal/netem"
 	"expresspass/internal/obs"
 	"expresspass/internal/runner"
@@ -202,6 +203,33 @@ func SetSweepProcs(n int) { runner.SetProcs(n) }
 
 // SweepProcs returns the effective sweep worker count.
 func SweepProcs() int { return runner.Procs() }
+
+// Fault injection (see internal/faults): deterministic, event-scheduled
+// link flaps, seeded per-class loss windows, and host credit stalls.
+type (
+	// FaultInjector schedules faults onto one network's engine clock.
+	FaultInjector = faults.Injector
+	// FaultDirective is one parsed fault from a -faults spec string.
+	FaultDirective = faults.Directive
+	// FaultPlan is an ordered fault timeline; Apply schedules it.
+	FaultPlan = faults.Plan
+)
+
+// NewFaultInjector returns a fault injector bound to net.
+func NewFaultInjector(net *Network) *FaultInjector { return faults.NewInjector(net) }
+
+// ParseFaultSpec parses a fault timeline spec such as
+// "flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms"
+// (xpsim's -faults flag grammar; see faults.ParseSpec).
+func ParseFaultSpec(spec string) (FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// SetDefaultFaultPlan installs plan as the process-wide fault timeline
+// (nil clears it). When set, the ext-faults-* experiments apply it in
+// place of their built-in timelines.
+func SetDefaultFaultPlan(plan FaultPlan) { faults.SetDefault(plan) }
+
+// DefaultFaultPlan returns the process-wide fault timeline, nil if unset.
+func DefaultFaultPlan() FaultPlan { return faults.Default() }
 
 // Experiment identifies one reproduced table or figure.
 type Experiment = experiments.Experiment

@@ -72,6 +72,15 @@ type Config struct {
 	// credit waste per flow. Zero disables.
 	StopMargin unit.Bytes
 
+	// MaxRequestRetries bounds CREDIT_REQUEST retransmissions (and the
+	// receiver's NACK retransmissions) on an unresponsive path. Fig 7a
+	// retries forever, but a simulation needs its event loop to drain
+	// when a path is truly dead: each retry waits 4·BaseRTT, so the
+	// default (64) probes a dead path for ~25 ms of simulated time
+	// before giving up and leaving no events pending. -1 retries
+	// forever (the literal paper behavior).
+	MaxRequestRetries int
+
 	// Class tags this flow's credit packets with a switch credit class
 	// (§7 "Multiple traffic classes"); meaningful only on ports
 	// configured with netem.CreditClassConfig.
@@ -115,6 +124,9 @@ func (c Config) withDefaults(lineRate unit.Rate) Config {
 		if c.MinRate < 1 {
 			c.MinRate = 1
 		}
+	}
+	if c.MaxRequestRetries == 0 {
+		c.MaxRequestRetries = 64
 	}
 	return c
 }

@@ -73,8 +73,8 @@ func (s *Session) initObs() {
 // Stop tears the session down and unregisters both endpoints.
 func (s *Session) Stop() {
 	s.rcv.stopCredits()
+	s.rcv.nackTimer.Cancel()
 	s.snd.reqTimer.Cancel()
-	s.snd.stopRetry.Cancel()
 	s.snd.stopTimer.Cancel()
 	s.snd.idleTimer.Cancel()
 	s.snd.gotCredit = true // suppress request retries
@@ -114,12 +114,14 @@ type sender struct {
 	lastEmit  sim.Time   // data responses stay in credit order (FIFO NIC)
 
 	// Fig 7a retry arcs: CREDIT_REQUEST is retransmitted until credits
-	// arrive, and CREDIT_STOP until the credit flow actually stops —
-	// both control packets ride the data class and can be dropped.
-	gotCredit bool
-	reqTimer  sim.EventID
-	stopRetry sim.EventID
-	idleTimer sim.EventID
+	// arrive (bounded by Cfg.MaxRequestRetries so a dead path cannot
+	// keep the engine from draining), and CREDIT_STOP until the credit
+	// flow actually stops — both control packets ride the data class
+	// and can be dropped.
+	gotCredit  bool
+	reqTimer   sim.EventID
+	reqRetries int
+	idleTimer  sim.EventID
 
 	// Credit-arrival rate estimate for the preemptive stop: credits
 	// seen in the previous full BaseRTT window bound how much data the
@@ -129,6 +131,7 @@ type sender struct {
 	prevWin   int
 	sentAll   bool
 	stopSent  bool
+	lastStop  sim.Time // when the latest CREDIT_STOP left (retry guard)
 	stopTimer sim.EventID
 
 	creditsIn     uint64
@@ -145,11 +148,18 @@ func (sn *sender) start() {
 }
 
 // sendRequest emits CREDIT_REQUEST and arms the Fig 7a retry timeout
-// (CREQ_SENT --no credit for timeout--> resend CREDIT_REQUEST).
+// (CREQ_SENT --no credit for timeout--> resend CREDIT_REQUEST). Retries
+// are bounded: past MaxRequestRetries the sender gives up without
+// re-arming, so a dead path leaves no pending events and the engine
+// drains. A credit arrival resets the budget.
 func (sn *sender) sendRequest() {
 	if sn.gotCredit {
 		return
 	}
+	if lim := sn.sess.Cfg.MaxRequestRetries; lim > 0 && sn.reqRetries >= lim {
+		return
+	}
+	sn.reqRetries++
 	f := sn.sess.Flow
 	req := packet.Get()
 	req.Kind = packet.Ctrl
@@ -162,13 +172,18 @@ func (sn *sender) sendRequest() {
 	sn.reqTimer = sn.eng.After(4*sn.sess.Cfg.BaseRTT, sn.sendRequest)
 }
 
-// OnPacket handles credits arriving at the sender.
+// OnPacket handles credits (and NACKs) arriving at the sender.
 func (sn *sender) OnPacket(p *packet.Packet) {
+	if p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlNack {
+		sn.onNack(p)
+		return
+	}
 	if p.Kind != packet.Credit {
 		packet.Put(p)
 		return
 	}
 	sn.creditsIn++
+	sn.reqRetries = 0
 	if tr := sn.trace; tr != nil {
 		tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvCreditRecv,
 			Scope: sn.host.Name(), Flow: int64(p.Flow), Seq: p.Seq, Bytes: p.Wire})
@@ -202,8 +217,14 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 	}
 	// Credit processing delay: the spread of this delay is the ∆d_host
 	// of §3.1's network-calculus bound. Responses are serialized so data
-	// packets leave in credit order, as a FIFO NIC pipeline would.
-	at := sn.eng.Now() + sn.host.SampleProcDelay()
+	// packets leave in credit order, as a FIFO NIC pipeline would. An
+	// injected host stall freezes the credit loop: the response is
+	// deferred to the stall end plus the normal processing delay.
+	from := sn.eng.Now()
+	if su := sn.host.CreditStallUntil(); su > from {
+		from = su
+	}
+	at := from + sn.host.SampleProcDelay()
 	if at <= sn.lastEmit {
 		at = sn.lastEmit + 1
 	}
@@ -263,9 +284,22 @@ func (sn *sender) emitData(payload unit.Bytes, creditSeq int64) {
 }
 
 // maybeStop schedules/sends CREDIT_STOP once nothing is left to send.
+//
+// Fig 7a CSTOP_SENT retry arc: if credits keep arriving, the stop was
+// lost and must be resent — but at most once per retry window. The
+// guard is the lastStop timestamp, not a timer that clears stopSent: a
+// timer would dangle for 4·BaseRTT after every completed flow (delaying
+// engine drain), and a stale one could clear the flag right after a
+// fresh stop went out, double-resending on the next stray credit.
 func (sn *sender) maybeStop() {
-	if sn.stopSent || sn.stopTimer.Pending() {
+	if sn.stopTimer.Pending() {
 		return
+	}
+	if sn.stopSent {
+		if sn.eng.Now() < sn.lastStop+4*sn.sess.Cfg.BaseRTT {
+			return
+		}
+		sn.stopSent = false // a full window of stray credits: stop was lost
 	}
 	if sn.sess.Cfg.StopTimeout > 0 {
 		sn.stopTimer = sn.eng.After(sn.sess.Cfg.StopTimeout, sn.sendStop)
@@ -275,7 +309,17 @@ func (sn *sender) maybeStop() {
 }
 
 func (sn *sender) sendStop() {
+	if at := sn.lastEmit + 1; at > sn.eng.Now() {
+		// FIFO NIC: data responses are still scheduled to leave (the
+		// credit-processing delay defers them past now). The stop must
+		// not overtake them — the receiver reads a stop as "everything
+		// sent has arrived" and would NACK a tail that is still on its
+		// way.
+		sn.stopTimer = sn.eng.At(at, sn.sendStop)
+		return
+	}
 	sn.stopSent = true
+	sn.lastStop = sn.eng.Now()
 	f := sn.sess.Flow
 	st := packet.Get()
 	st.Kind = packet.Ctrl
@@ -285,11 +329,32 @@ func (sn *sender) sendStop() {
 	st.Dst = f.Receiver.ID()
 	st.Wire = unit.MinFrame
 	sn.host.Send(st)
-	// Fig 7a CSTOP_SENT: if credits keep arriving (the stop was lost),
-	// resend. The retry re-arms from maybeStop on the next stray credit.
-	sn.stopRetry = sn.eng.After(4*sn.sess.Cfg.BaseRTT, func() {
-		sn.stopSent = false
-	})
+}
+
+// onNack reopens the transfer tail the receiver reports missing: data-
+// class loss ate credited packets, so the byte count the sender believes
+// it sent exceeds what arrived. Recovery walks the Fig 7a request arc
+// again — re-request credits, resend the shortfall, stop again.
+func (sn *sender) onNack(p *packet.Packet) {
+	acked := unit.Bytes(p.Ack)
+	packet.Put(p)
+	f := sn.sess.Flow
+	if sn.unbounded || acked >= f.Size {
+		return
+	}
+	if sn.remaining > 0 && !sn.stopSent {
+		// Already resending (a duplicate NACK from the receiver's retry
+		// while our retransmission is in flight): don't reopen bytes
+		// twice.
+		return
+	}
+	sn.remaining = f.Size - acked
+	sn.sentAll = false
+	sn.stopSent = false
+	sn.stopTimer.Cancel()
+	sn.gotCredit = false
+	sn.reqRetries = 0
+	sn.sendRequest()
 }
 
 // ---- receiver ----
@@ -306,6 +371,12 @@ type receiver struct {
 	active      bool
 	creditTimer sim.EventID
 	tickTimer   sim.EventID
+
+	// NACK retry state: a CREDIT_STOP that arrives before the flow's
+	// bytes all did means credited data was lost in flight; the receiver
+	// NACKs (bounded, like request retries) until the tail arrives.
+	nackTimer   sim.EventID
+	nackRetries int
 
 	nextSeq     int64 // next credit sequence to assign (first = 1)
 	creditsSent uint64
@@ -332,7 +403,22 @@ func (rc *receiver) OnPacket(p *packet.Packet) {
 	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlCreditRequest:
 		packet.Put(p)
 		rc.startCredits()
-	case p.Kind == packet.Ctrl && (p.Ctrl == packet.CtrlCreditStop || p.Ctrl == packet.CtrlFin):
+	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlCreditStop:
+		packet.Put(p)
+		rc.stopCredits()
+		// A shortfall against Flow.Size at this point is usually loss —
+		// but not always: with StopMargin the stop deliberately precedes
+		// the flow's last ~BDP of data, which is still in flight behind
+		// credits already issued. Arm the NACK check one retry interval
+		// out instead of firing it here, so legitimately in-flight data
+		// can land first; onData cancels the timer the moment the flow
+		// completes.
+		rc.nackRetries = 0
+		if f := rc.sess.Flow; f.Size > 0 && !f.Finished {
+			rc.nackTimer.Cancel()
+			rc.nackTimer = rc.eng.After(4*rc.sess.Cfg.BaseRTT, rc.requestMissing)
+		}
+	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlFin:
 		packet.Put(p)
 		rc.stopCredits()
 	case p.Kind == packet.Data:
@@ -356,6 +442,31 @@ func (rc *receiver) stopCredits() {
 	rc.active = false
 	rc.creditTimer.Cancel()
 	rc.tickTimer.Cancel()
+}
+
+// requestMissing sends (and retries) a NACK while the flow is short of
+// its size. Retries share the MaxRequestRetries budget semantics; the
+// timer is canceled the moment the flow finishes so nothing dangles.
+func (rc *receiver) requestMissing() {
+	f := rc.sess.Flow
+	if f.Size == 0 || f.Finished {
+		rc.nackTimer.Cancel()
+		return
+	}
+	if lim := rc.sess.Cfg.MaxRequestRetries; lim > 0 && rc.nackRetries >= lim {
+		return
+	}
+	rc.nackRetries++
+	nk := packet.Get()
+	nk.Kind = packet.Ctrl
+	nk.Ctrl = packet.CtrlNack
+	nk.Flow = f.ID
+	nk.Src = f.Receiver.ID()
+	nk.Dst = f.Sender.ID()
+	nk.Ack = int64(f.BytesDelivered)
+	nk.Wire = unit.MinFrame
+	rc.host.Send(nk)
+	rc.nackTimer = rc.eng.After(4*rc.sess.Cfg.BaseRTT, rc.requestMissing)
 }
 
 // sendCredit emits one credit and schedules the next per the current
@@ -403,8 +514,11 @@ func (rc *receiver) onData(p *packet.Packet) {
 	f := rc.sess.Flow
 	wasFinished := f.Finished
 	f.Deliver(now, p.Payload)
-	if h := rc.fctHist; h != nil && !wasFinished && f.Finished {
-		h.Observe(f.FCT().Seconds() * 1e3)
+	if !wasFinished && f.Finished {
+		rc.nackTimer.Cancel()
+		if h := rc.fctHist; h != nil {
+			h.Observe(f.FCT().Seconds() * 1e3)
+		}
 	}
 	seq := p.CreditSeq
 	packet.Put(p)

@@ -195,3 +195,69 @@ func TestSessionStopCleansUp(t *testing.T) {
 		t.Error("delivery continued after Stop")
 	}
 }
+
+// TestEngineDrainsAfterCompletion pins the timer-hygiene contract of
+// the Fig 7a state machine: once a flow finishes and its CREDIT_STOP
+// lands, neither endpoint may hold a pending timer, so Engine.Run
+// returns promptly instead of idling on a dangling stop-retry event.
+func TestEngineDrainsAfterCompletion(t *testing.T) {
+	eng, d := dumbbell(6, 1)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 256*unit.KB, 0)
+	rtt := 50 * sim.Microsecond
+	core.Dial(f, core.Config{BaseRTT: rtt})
+	eng.Run()
+	if !f.Finished {
+		t.Fatal("flow did not finish")
+	}
+	// The last events after finish are the stop's flight plus at most a
+	// handful of stray credits draining — well under one retry window.
+	if lag := eng.Now() - f.FinishTime; lag >= sim.Time(4*rtt) {
+		t.Errorf("engine drained %v after finish — a timer dangled past the stop", sim.Duration(lag))
+	}
+	if pending := eng.Pending(); pending != 0 {
+		t.Errorf("%d events still pending after Run returned", pending)
+	}
+}
+
+// TestDeadPathDrains pins the bounded CREDIT_REQUEST retry: a sender
+// whose path is hard-down from the start must give up after
+// MaxRequestRetries and leave the engine drainable, not re-arm forever.
+func TestDeadPathDrains(t *testing.T) {
+	eng, d := dumbbell(8, 1)
+	// Take the middle link down before the flow starts and reconverge:
+	// requests die at the sender-side switch.
+	d.Net.SetLinkDown(d.Bottleneck, true)
+	d.Net.BuildRoutes()
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 64*unit.KB, 0)
+	rtt := 50 * sim.Microsecond
+	core.Dial(f, core.Config{BaseRTT: rtt, MaxRequestRetries: 8})
+	eng.Run() // must return: bounded retries leave no pending events
+	if f.Finished {
+		t.Fatal("flow finished across a dead path")
+	}
+	// 8 retries spaced 4·BaseRTT apart ≈ 1.6 ms, plus packet flight.
+	if eng.Now() > sim.Time(4*rtt)*10 {
+		t.Errorf("dead path drained only at %v — retries not bounded", eng.Now())
+	}
+}
+
+// TestNackRecoversLostData pins the data-loss retry arc: when credited
+// data dies in flight, the receiver's shortfall NACK at CREDIT_STOP
+// must reopen the tail and the flow must still complete.
+func TestNackRecoversLostData(t *testing.T) {
+	eng, d := dumbbell(12, 1)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 256*unit.KB, 0)
+	sess := core.Dial(f, core.Config{BaseRTT: 50 * sim.Microsecond})
+	// Destroy 5% of data-class packets on the bottleneck for the whole
+	// transfer window (seeded: deterministic for the engine seed).
+	d.Bottleneck.SetFaultLoss(0, 0.05, eng.Rand().Fork())
+	eng.RunUntil(100 * sim.Millisecond)
+	if !f.Finished {
+		t.Fatalf("flow did not recover from data loss: %v of %v delivered",
+			f.BytesDelivered, f.Size)
+	}
+	want := uint64(f.Size / unit.MTUPayload)
+	if sess.DataSent() <= want {
+		t.Errorf("data packets sent = %d, want > %d (retransmissions)", sess.DataSent(), want)
+	}
+}

@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"expresspass/internal/core"
+	"expresspass/internal/faults"
+	"expresspass/internal/netem"
+	"expresspass/internal/obs"
+	"expresspass/internal/runner"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// The ext-faults-* experiments drive the internal/faults injector over
+// the paper's robustness claims: the credit feedback loop rides out hard
+// link flaps (goodput recovers to the pre-fault level once routes
+// reconverge), credit loss is self-healing (§3.1 — a destroyed credit
+// merely suppresses one data packet), data loss is recovered through
+// the credit-request/stop state machine (Fig 7a), and a stalled host
+// defers credited data without destroying anything. When a process-wide
+// plan is installed (the -faults CLI flag via faults.SetDefault), it
+// replaces each experiment's built-in timeline.
+
+const faultRTT = 50 * sim.Microsecond
+
+// faultDumbbell builds the shared scenario: an n-pair 10G dumbbell with
+// one long-running dialed flow per pair.
+func faultDumbbell(eng *sim.Engine, n int) (*topology.Dumbbell, []*transport.Flow, []*core.Session) {
+	d := topology.NewDumbbell(eng, n, topology.Config{
+		LinkRate: 10 * unit.Gbps, LinkDelay: 4 * sim.Microsecond,
+	})
+	var flows []*transport.Flow
+	var sessions []*core.Session
+	for i := 0; i < n; i++ {
+		f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 0, 0)
+		sessions = append(sessions, core.Dial(f, core.Config{BaseRTT: faultRTT}))
+		flows = append(flows, f)
+	}
+	return d, flows, sessions
+}
+
+// snapCredits sums the credit/data counters across sessions, as a
+// baseline for wastedRatio.
+func snapCredits(sessions []*core.Session) (sent, data uint64) {
+	for _, s := range sessions {
+		sent += s.CreditsSent()
+		data += s.DataSent()
+	}
+	return sent, data
+}
+
+// wastedRatio is the credit-wasted ratio across sessions since the
+// given baseline: the fraction of credits the receivers sent that never
+// returned a data packet — dropped by the credit meter (the feedback
+// loop's designed ~10% target), destroyed by a fault in flight, or
+// arriving at a sender with nothing left to send.
+func wastedRatio(sessions []*core.Session, baseSent, baseData uint64) float64 {
+	sent, data := snapCredits(sessions)
+	sent -= baseSent
+	data -= baseData
+	if sent == 0 || data >= sent {
+		return 0
+	}
+	return 1 - float64(data)/float64(sent)
+}
+
+// registerFaultMetrics exposes the fault-facing gauges when a metrics
+// CSV was requested: the credit-wasted ratio and the cumulative
+// fault-drop count.
+func registerFaultMetrics(net *netem.Network, sessions []*core.Session) {
+	r := net.Metrics()
+	if r == nil {
+		return
+	}
+	r.Gauge("faults/credit_wasted_ratio", func() float64 { return wastedRatio(sessions, 0, 0) })
+	r.Gauge("faults/drops", func() float64 { return float64(net.TotalFaultDrops()) })
+}
+
+func sumDelivered(flows []*transport.Flow) unit.Bytes {
+	var b unit.Bytes
+	for _, f := range flows {
+		b += f.TakeDeliveredDelta()
+	}
+	return b
+}
+
+// ---- ext-faults-flap: hard link flap with reconvergence ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-faults-flap",
+		Title: "robustness: bottleneck link flap, reconvergence, and goodput recovery",
+		Paper: "goodput recovers to ≥99% of the pre-fault level after the flap; credit waste stays bounded",
+		Run:   runExtFaultsFlap,
+	})
+}
+
+func runExtFaultsFlap(p Params, w io.Writer) error {
+	flaps := []sim.Duration{1 * sim.Millisecond, 2 * sim.Millisecond, 5 * sim.Millisecond}
+	warm := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+	preD := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+	settle := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+	postD := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+	const win = 250 * sim.Microsecond
+
+	type row struct {
+		flap      string
+		pre, post float64
+		recovery  string
+		drops     uint64
+		wasted    float64
+	}
+	rows := runner.Map(len(flaps), func(t *runner.T, i int) row {
+		flapD := flaps[i]
+		eng := t.Engine(p.Seed)
+		d, flows, sessions := faultDumbbell(eng, 4)
+		registerFaultMetrics(d.Net, sessions)
+		faultAt := warm + sim.Time(preD)
+		if plan := faults.Default(); plan != nil {
+			if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
+				panic(err)
+			}
+		} else {
+			faults.NewInjector(d.Net).FlapLink(d.Bottleneck, faultAt, flapD)
+		}
+
+		eng.RunUntil(warm)
+		sumDelivered(flows)
+		baseSent, baseData := snapCredits(sessions)
+		eng.RunFor(preD)
+		pre := gbps(sumDelivered(flows), preD)
+
+		// Ride out the outage itself, then watch recovery window by
+		// window: recovery time is the delay from link-up to the first
+		// window back at ≥99% of the pre-fault rate.
+		eng.RunUntil(faultAt + flapD)
+		sumDelivered(flows)
+		recovery := "-"
+		var postSum float64
+		postN := 0
+		nWin := int((settle + postD) / win)
+		for k := 0; k < nWin; k++ {
+			eng.RunFor(win)
+			g := gbps(sumDelivered(flows), win)
+			if recovery == "-" && g >= 0.99*pre {
+				recovery = fmt.Sprintf("%.2fms",
+					float64(k+1)*float64(win)/float64(sim.Millisecond))
+			}
+			if sim.Duration(k+1)*win > settle {
+				postSum += g
+				postN++
+			}
+		}
+		return row{
+			flap:     fmt.Sprintf("%gms", float64(flapD)/float64(sim.Millisecond)),
+			pre:      pre,
+			post:     postSum / float64(postN),
+			recovery: recovery,
+			drops:    d.Net.TotalFaultDrops(),
+			wasted:   100 * wastedRatio(sessions, baseSent, baseData),
+		}
+	})
+
+	tbl := NewTable("flap", "pre Gbps", "recovery", "post Gbps", "fault drops", "wasted %")
+	for _, r := range rows {
+		tbl.Add(r.flap, r.pre, r.recovery, r.post, r.drops, r.wasted)
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- ext-faults-loss: seeded credit vs data loss ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-faults-loss",
+		Title: "robustness: seeded credit-class vs data-class loss on the bottleneck",
+		Paper: "credit loss is absorbed by the feedback loop; data loss is recovered via request/retry, inflating FCT only",
+		Run:   runExtFaultsLoss,
+	})
+}
+
+func runExtFaultsLoss(p Params, w io.Writer) error {
+	arms := []struct {
+		name         string
+		credit, data float64
+	}{
+		{"baseline", 0, 0},
+		{"credit-5%", 0.05, 0},
+		{"credit-20%", 0.20, 0},
+		{"data-1%", 0, 0.01},
+		{"data-5%", 0, 0.05},
+	}
+	n := p.scaleInt(16, 6)
+	size := 256 * unit.KB
+	deadline := p.scaleDur(300*sim.Millisecond, 60*sim.Millisecond)
+
+	type row struct {
+		name  string
+		done  int
+		fct   string
+		retx  uint64
+		drops uint64
+	}
+	rows := runner.Map(len(arms), func(t *runner.T, i int) row {
+		arm := arms[i]
+		eng := t.Engine(p.Seed)
+		d := topology.NewDumbbell(eng, n, topology.Config{
+			LinkRate: 10 * unit.Gbps, LinkDelay: 4 * sim.Microsecond,
+		})
+		var flows []*transport.Flow
+		var sessions []*core.Session
+		for k := 0; k < n; k++ {
+			f := transport.NewFlow(d.Net, d.Senders[k], d.Receivers[k],
+				size, sim.Time(k)*sim.Time(100*sim.Microsecond))
+			sessions = append(sessions, core.Dial(f, core.Config{BaseRTT: faultRTT}))
+			flows = append(flows, f)
+		}
+		registerFaultMetrics(d.Net, sessions)
+		if plan := faults.Default(); plan != nil {
+			if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
+				panic(err)
+			}
+		} else {
+			in := faults.NewInjector(d.Net)
+			if arm.credit > 0 {
+				// Credits traverse the reverse path: lose them on the
+				// reverse bottleneck's egress.
+				in.Loss(d.Reverse, arm.credit, 0, 0, deadline)
+			}
+			if arm.data > 0 {
+				in.Loss(d.Bottleneck, 0, arm.data, 0, deadline)
+			}
+		}
+		eng.RunUntil(sim.Time(deadline))
+
+		done := 0
+		var fctSum sim.Duration
+		for _, f := range flows {
+			if f.Finished {
+				done++
+				fctSum += f.FCT()
+			}
+		}
+		fct := "-"
+		if done > 0 {
+			fct = fmt.Sprintf("%.2fms",
+				float64(fctSum)/float64(done)/float64(sim.Millisecond))
+		}
+		// Retransmissions: data packets beyond the minimum needed to
+		// carry every flow's payload once.
+		minPkts := uint64(n) * uint64((size+unit.MTUPayload-1)/unit.MTUPayload)
+		var sent uint64
+		for _, s := range sessions {
+			sent += s.DataSent()
+		}
+		retx := uint64(0)
+		if sent > minPkts {
+			retx = sent - minPkts
+		}
+		return row{arm.name, done, fct, retx, d.Net.TotalFaultDrops()}
+	})
+
+	tbl := NewTable("loss", "completed", "mean FCT", "retx pkts", "fault drops")
+	for _, r := range rows {
+		tbl.Add(r.name, fmt.Sprintf("%d/%d", r.done, n), r.fct, r.retx, r.drops)
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// ---- ext-faults-stall: host credit-processing stall ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-faults-stall",
+		Title: "robustness: sender-side credit-processing stall (GC pause / preemption)",
+		Paper: "a stalled host defers credited data without loss; aggregate goodput dips and recovers",
+		Run:   runExtFaultsStall,
+	})
+}
+
+func runExtFaultsStall(p Params, w io.Writer) error {
+	stalls := []sim.Duration{1 * sim.Millisecond, 4 * sim.Millisecond}
+	warm := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+	preD := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+	postD := p.scaleDur(10*sim.Millisecond, 4*sim.Millisecond)
+
+	type row struct {
+		stall          string
+		pre, dip, post float64
+		drops          uint64
+	}
+	rows := runner.Map(len(stalls), func(t *runner.T, i int) row {
+		stallD := stalls[i]
+		eng := t.Engine(p.Seed)
+		d, flows, sessions := faultDumbbell(eng, 2)
+		registerFaultMetrics(d.Net, sessions)
+		faultAt := warm + sim.Time(preD)
+		if plan := faults.Default(); plan != nil {
+			if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
+				panic(err)
+			}
+		} else {
+			faults.NewInjector(d.Net).StallHost(d.Senders[0], faultAt, stallD)
+		}
+
+		eng.RunUntil(warm)
+		sumDelivered(flows)
+		eng.RunFor(preD)
+		pre := gbps(sumDelivered(flows), preD)
+		eng.RunFor(stallD)
+		dip := gbps(sumDelivered(flows), stallD)
+		eng.RunFor(postD)
+		post := gbps(sumDelivered(flows), postD)
+		return row{
+			stall: fmt.Sprintf("%gms", float64(stallD)/float64(sim.Millisecond)),
+			pre:   pre, dip: dip, post: post,
+			drops: d.Net.TotalFaultDrops(),
+		}
+	})
+
+	tbl := NewTable("stall", "pre Gbps", "during Gbps", "post Gbps", "fault drops")
+	for _, r := range rows {
+		tbl.Add(r.stall, r.pre, r.dip, r.post, r.drops)
+	}
+	tbl.Write(w)
+	return nil
+}
+
+var _ = obs.EvFaultStart // the injector emits these through the trial scope

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"expresspass/internal/obs"
+)
+
+// TestExtFaultsFlapAcceptance pins the headline robustness claim end to
+// end through the experiment harness: the flap experiment's post-fault
+// goodput must recover to ≥99% of the pre-fault level in every arm, a
+// recovery time must be measured, and the run must emit
+// fault_start/fault_end trace events plus the credit-wasted-ratio
+// metric through the obs runtime.
+func TestExtFaultsFlapAcceptance(t *testing.T) {
+	var out, trace, metrics bytes.Buffer
+	rt := obs.NewRuntime(obs.Config{
+		Tracer:     obs.NewTracer(obs.NewJSONLSink(&trace)),
+		MetricsOut: &metrics,
+	})
+	obs.SetActive(rt)
+	defer obs.SetActive(nil)
+	if err := Run("ext-faults-flap", Params{Scale: 0.06, Seed: 42}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := tableRows(t, out.String())
+	if len(rows) == 0 {
+		t.Fatalf("no table rows in output:\n%s", out.String())
+	}
+	for _, row := range rows {
+		// Columns: flap, pre Gbps, recovery, post Gbps, fault drops, wasted %.
+		if len(row) != 6 {
+			t.Fatalf("row %v has %d columns, want 6", row, len(row))
+		}
+		pre, err1 := strconv.ParseFloat(row[1], 64)
+		post, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %v: unparsable goodput columns", row)
+		}
+		if post < 0.99*pre {
+			t.Errorf("flap %s: post-fault goodput %.3f < 99%% of pre-fault %.3f",
+				row[0], post, pre)
+		}
+		if row[2] == "-" {
+			t.Errorf("flap %s: goodput never recovered within the measurement window", row[0])
+		}
+		if row[4] == "0" {
+			t.Errorf("flap %s: fault destroyed no packets — flap did not bite", row[0])
+		}
+	}
+
+	for _, ev := range []string{"fault_start", "fault_end"} {
+		if got := strings.Count(trace.String(), `"ev":"`+ev+`"`); got < len(rows) {
+			t.Errorf("trace has %d %s events, want at least one per arm (%d)", got, ev, len(rows))
+		}
+	}
+	if !strings.Contains(metrics.String(), "faults/credit_wasted_ratio") {
+		t.Error("metrics CSV lacks the faults/credit_wasted_ratio gauge")
+	}
+}
+
+// TestExtFaultsLossAcceptance checks the loss experiment's contract:
+// every arm completes all flows (credit loss is self-healing, data loss
+// is recovered), credit-loss arms recover without retransmitting, and
+// data-loss arms show the retransmissions that recovered them.
+func TestExtFaultsLossAcceptance(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run("ext-faults-loss", Params{Scale: 0.06, Seed: 42}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rows := tableRows(t, out.String())
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5:\n%s", len(rows), out.String())
+	}
+	for _, row := range rows {
+		// Columns: loss, completed, mean FCT, retx pkts, fault drops.
+		done, total, ok := strings.Cut(row[1], "/")
+		if !ok || done != total {
+			t.Errorf("arm %s: completed %s, want all flows finished", row[0], row[1])
+		}
+		retx := row[3]
+		switch {
+		case strings.HasPrefix(row[0], "credit"):
+			if retx != "0" {
+				t.Errorf("arm %s: %s retransmissions — credit loss must heal without them", row[0], retx)
+			}
+			if row[4] == "0" {
+				t.Errorf("arm %s: no fault drops — loss window did not bite", row[0])
+			}
+		case strings.HasPrefix(row[0], "data"):
+			if retx == "0" {
+				t.Errorf("arm %s: no retransmissions — data loss cannot have been recovered", row[0])
+			}
+		}
+	}
+}
+
+// tableRows parses the data rows of a Table written to out (everything
+// after the dashed separator), split into whitespace-delimited cells.
+func tableRows(t *testing.T, out string) [][]string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var rows [][]string
+	seen := false
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "--") {
+			seen = true
+			continue
+		}
+		if seen && strings.TrimSpace(ln) != "" {
+			rows = append(rows, strings.Fields(ln))
+		}
+	}
+	return rows
+}

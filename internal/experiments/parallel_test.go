@@ -38,6 +38,12 @@ var gateScale = map[string]float64{
 	"ext-failover":   0.03,
 	"ext-stopmargin": 0.05,
 	"ext-dcqcn":      0.05,
+
+	// Fault-injection experiments: the timelines floor at a few ms of
+	// simulated time regardless of scale, so a small scale suffices.
+	"ext-faults-flap":  0.06,
+	"ext-faults-loss":  0.06,
+	"ext-faults-stall": 0.06,
 }
 
 // gateHeavy marks the realistic-workload experiments whose cost is

@@ -1,0 +1,98 @@
+// Package faults injects deterministic, event-scheduled faults into a
+// running simulation: hard link flaps with routing reconvergence, seeded
+// per-class stochastic loss windows on individual ports, and host-side
+// credit-processing stalls. Every fault is an ordinary engine event, so
+// fault timelines replay bit-for-bit under any seed and survive the
+// serial-vs-parallel byte-compare gate unchanged.
+//
+// The paper's robustness story motivates all three fault kinds: credit
+// loss must be self-healing (a destroyed credit merely suppresses one
+// data packet, §3.1), data loss must be recovered through the
+// credit-request/stop state machine (Fig 7a), and the feedback loop must
+// ride out link failures without collapsing utilization. This package
+// turns those claims into runnable scenarios (see the ext-faults-*
+// experiments).
+package faults
+
+import (
+	"expresspass/internal/netem"
+	"expresspass/internal/obs"
+	"expresspass/internal/sim"
+)
+
+// Injector schedules faults onto one network's engine clock. All methods
+// may be called before or during a run; the fault fires at its scheduled
+// simulated time. An Injector holds no state of its own beyond the
+// network binding, so any number may coexist.
+type Injector struct {
+	net *netem.Network
+	eng *sim.Engine
+}
+
+// NewInjector returns an injector bound to net.
+func NewInjector(net *netem.Network) *Injector {
+	return &Injector{net: net, eng: net.Eng}
+}
+
+func (in *Injector) emit(ty obs.EventType, scope string, val, aux float64) {
+	if tr := in.net.Tracer(); tr != nil {
+		tr.Emit(obs.Event{T: in.eng.Now(), Type: ty, Scope: scope, Val: val, Aux: aux})
+	}
+}
+
+// FlapLink takes the full-duplex link through p hard-down at `at` and
+// back up dur later. Going down flushes both directions' queues and
+// loses in-flight packets into fault-drop accounting; both transitions
+// rebuild routes, modeling the control-plane reconvergence a datacenter
+// fabric performs around a flapping cable. Overlapping flaps of the
+// same link are not reference-counted: the earliest up-event restores
+// the link.
+func (in *Injector) FlapLink(p *netem.Port, at sim.Time, dur sim.Duration) {
+	scope := "flap:" + p.Name()
+	ms := float64(dur) / float64(sim.Millisecond)
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, ms, 0)
+		in.net.SetLinkDown(p, true)
+		in.net.BuildRoutes()
+	})
+	in.eng.At(at+dur, func() {
+		in.net.SetLinkDown(p, false)
+		in.net.BuildRoutes()
+		in.emit(obs.EvFaultEnd, scope, ms, 0)
+	})
+}
+
+// Loss opens a seeded stochastic loss window on p's egress from `at`
+// for dur: each admitted packet is destroyed with probability
+// creditRate (credit class) or dataRate (everything else). The RNG is
+// forked from the engine stream at the window-open event, so the loss
+// pattern is a pure function of the run seed. Windows on the same port
+// must not overlap (the later close clears the earlier window's rates).
+func (in *Injector) Loss(p *netem.Port, creditRate, dataRate float64, at sim.Time, dur sim.Duration) {
+	scope := "loss:" + p.Name()
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, creditRate, dataRate)
+		p.SetFaultLoss(creditRate, dataRate, in.eng.Rand().Fork())
+	})
+	in.eng.At(at+dur, func() {
+		p.SetFaultLoss(0, 0, nil)
+		in.emit(obs.EvFaultEnd, scope, creditRate, dataRate)
+	})
+}
+
+// StallHost freezes h's credit processing from `at` to `at+dur` — a GC
+// pause, hypervisor preemption, or interrupt storm on the sender side.
+// Credits arriving during the stall are not lost; the credited data is
+// emitted in a burst once the stall clears (plus the normal per-credit
+// processing delay).
+func (in *Injector) StallHost(h *netem.Host, at sim.Time, dur sim.Duration) {
+	scope := "stall:" + h.Name()
+	ms := float64(dur) / float64(sim.Millisecond)
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, ms, 0)
+		h.StallCreditsUntil(in.eng.Now() + dur)
+	})
+	in.eng.At(at+dur, func() {
+		in.emit(obs.EvFaultEnd, scope, ms, 0)
+	})
+}

@@ -1,0 +1,216 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"expresspass/internal/netem"
+	"expresspass/internal/sim"
+)
+
+// Directive is one parsed fault from a spec string.
+type Directive struct {
+	Kind   string // "flap", "loss", or "stall"
+	Target string // port name, host name, or "" for the scenario default
+
+	// Loss rates (Kind == "loss" only).
+	CreditRate float64
+	DataRate   float64
+
+	At  sim.Time     // when the fault starts
+	Dur sim.Duration // how long it lasts
+}
+
+// Plan is an ordered fault timeline.
+type Plan []Directive
+
+// ParseSpec parses a fault timeline. Grammar (';'-separated directives,
+// whitespace ignored):
+//
+//	flap[:<port>]@<start>+<dur>
+//	loss:<class>:<rate>[:<port>]@<start>+<dur>    class ∈ credit|data|both
+//	stall[:<host>]@<start>+<dur>
+//
+// Times are <number><unit> with unit ns|us|µs|ms|s. An omitted port
+// resolves to the scenario's bottleneck at Apply time; an omitted host
+// resolves to the scenario's first host. Example:
+//
+//	flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms
+func ParseSpec(spec string) (Plan, error) {
+	var plan Plan
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		d, err := parseDirective(raw)
+		if err != nil {
+			return nil, err
+		}
+		plan = append(plan, d)
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("faults: empty spec %q", spec)
+	}
+	return plan, nil
+}
+
+func parseDirective(s string) (Directive, error) {
+	var d Directive
+	head, timing, ok := strings.Cut(s, "@")
+	if !ok {
+		return d, fmt.Errorf("faults: directive %q missing '@<start>+<dur>'", s)
+	}
+	start, dur, ok := strings.Cut(timing, "+")
+	if !ok {
+		return d, fmt.Errorf("faults: directive %q missing '+<dur>' after start", s)
+	}
+	var err error
+	if at, err := parseDur(start); err != nil {
+		return d, fmt.Errorf("faults: directive %q: bad start: %v", s, err)
+	} else {
+		d.At = sim.Time(at)
+	}
+	if d.Dur, err = parseDur(dur); err != nil {
+		return d, fmt.Errorf("faults: directive %q: bad duration: %v", s, err)
+	}
+	if d.Dur <= 0 {
+		return d, fmt.Errorf("faults: directive %q: duration must be positive", s)
+	}
+
+	fields := strings.Split(head, ":")
+	d.Kind = strings.TrimSpace(fields[0])
+	args := fields[1:]
+	switch d.Kind {
+	case "flap", "stall":
+		switch len(args) {
+		case 0:
+		case 1:
+			d.Target = strings.TrimSpace(args[0])
+		default:
+			return d, fmt.Errorf("faults: %s takes at most one ':<target>' argument in %q", d.Kind, s)
+		}
+	case "loss":
+		if len(args) < 2 || len(args) > 3 {
+			return d, fmt.Errorf("faults: loss needs ':<class>:<rate>[:<target>]' in %q", s)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(args[1]), 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return d, fmt.Errorf("faults: loss rate %q must be in [0,1] in %q", args[1], s)
+		}
+		switch class := strings.TrimSpace(args[0]); class {
+		case "credit":
+			d.CreditRate = rate
+		case "data":
+			d.DataRate = rate
+		case "both":
+			d.CreditRate, d.DataRate = rate, rate
+		default:
+			return d, fmt.Errorf("faults: loss class %q must be credit|data|both in %q", class, s)
+		}
+		if len(args) == 3 {
+			d.Target = strings.TrimSpace(args[2])
+		}
+	default:
+		return d, fmt.Errorf("faults: unknown fault kind %q in %q", d.Kind, s)
+	}
+	return d, nil
+}
+
+// parseDur parses "<number><unit>" with unit ns|us|µs|ms|s.
+func parseDur(s string) (sim.Duration, error) {
+	s = strings.TrimSpace(s)
+	units := []struct {
+		suf string
+		mul sim.Duration
+	}{
+		{"ns", sim.Nanosecond},
+		{"µs", sim.Microsecond},
+		{"us", sim.Microsecond},
+		{"ms", sim.Millisecond},
+		{"s", sim.Second},
+	}
+	for _, u := range units {
+		if num, ok := strings.CutSuffix(s, u.suf); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(num), 64)
+			if err != nil || f < 0 {
+				return 0, fmt.Errorf("bad number %q", num)
+			}
+			return sim.Duration(f * float64(u.mul)), nil
+		}
+	}
+	return 0, fmt.Errorf("time %q needs a unit (ns|us|ms|s)", s)
+}
+
+// Apply schedules every directive onto net. Port targets ("a->b")
+// resolve against port names; "" or "bottleneck" resolves to the given
+// bottleneck port. Stall targets resolve against host names, defaulting
+// to the first host.
+func (pl Plan) Apply(net *netem.Network, bottleneck *netem.Port) error {
+	in := NewInjector(net)
+	for _, d := range pl {
+		switch d.Kind {
+		case "flap", "loss":
+			p := bottleneck
+			if d.Target != "" && d.Target != "bottleneck" {
+				p = portByName(net, d.Target)
+			}
+			if p == nil {
+				return fmt.Errorf("faults: no port matches %q", d.Target)
+			}
+			if d.Kind == "flap" {
+				in.FlapLink(p, d.At, d.Dur)
+			} else {
+				in.Loss(p, d.CreditRate, d.DataRate, d.At, d.Dur)
+			}
+		case "stall":
+			h := hostByName(net, d.Target)
+			if h == nil {
+				return fmt.Errorf("faults: no host matches %q", d.Target)
+			}
+			in.StallHost(h, d.At, d.Dur)
+		default:
+			return fmt.Errorf("faults: unknown fault kind %q", d.Kind)
+		}
+	}
+	return nil
+}
+
+func portByName(net *netem.Network, name string) *netem.Port {
+	for _, p := range net.AllPorts() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
+func hostByName(net *netem.Network, name string) *netem.Host {
+	hosts := net.Hosts()
+	if name == "" {
+		if len(hosts) == 0 {
+			return nil
+		}
+		return hosts[0]
+	}
+	for _, h := range hosts {
+		if h.Name() == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// defaultPlan is the process-wide plan installed by the -faults CLI
+// flag; the ext-faults-* experiments use it in place of their built-in
+// timelines when set. It is written once at startup and only read
+// during runs, so parallel sweep trials share it safely.
+var defaultPlan Plan
+
+// SetDefault installs plan as the process-wide default fault timeline
+// (nil clears it).
+func SetDefault(plan Plan) { defaultPlan = plan }
+
+// Default returns the process-wide fault timeline, nil when unset.
+func Default() Plan { return defaultPlan }

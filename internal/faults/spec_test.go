@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"testing"
+
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/unit"
+)
+
+func TestParseSpec(t *testing.T) {
+	plan, err := ParseSpec("flap@10ms+2ms; loss:credit:0.05@20ms+5ms; loss:both:0.01:swL->swR@1s+100us; stall:s0@30ms+1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 4 {
+		t.Fatalf("parsed %d directives, want 4", len(plan))
+	}
+	want := Plan{
+		{Kind: "flap", At: 10 * sim.Millisecond, Dur: 2 * sim.Millisecond},
+		{Kind: "loss", CreditRate: 0.05, At: 20 * sim.Millisecond, Dur: 5 * sim.Millisecond},
+		{Kind: "loss", CreditRate: 0.01, DataRate: 0.01, Target: "swL->swR",
+			At: sim.Time(sim.Second), Dur: 100 * sim.Microsecond},
+		{Kind: "stall", Target: "s0", At: 30 * sim.Millisecond, Dur: sim.Millisecond},
+	}
+	for i, w := range want {
+		if plan[i] != w {
+			t.Errorf("directive %d = %+v, want %+v", i, plan[i], w)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"flap",                    // no timing
+		"flap@10ms",               // no duration
+		"flap@10ms+0ms",           // zero duration
+		"flap@10+2ms",             // missing unit
+		"melt@10ms+2ms",           // unknown kind
+		"loss@10ms+2ms",           // loss without class/rate
+		"loss:credit:1.5@1ms+1ms", // rate out of range
+		"loss:acks:0.1@1ms+1ms",   // unknown class
+		"stall:a:b@1ms+1ms",       // too many args
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", s)
+		}
+	}
+}
+
+func TestPlanApplyResolution(t *testing.T) {
+	eng := sim.New(1)
+	d := topology.NewDumbbell(eng, 1, topology.Config{LinkRate: 10 * unit.Gbps})
+
+	plan, err := ParseSpec("flap@1ms+1ms; flap:swR->swL@2ms+1ms; stall@3ms+1ms; stall:r0@4ms+1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, spec := range []string{"flap:nosuch->port@1ms+1ms", "stall:ghost@1ms+1ms"} {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(d.Net, d.Bottleneck); err == nil {
+			t.Errorf("Apply(%q) resolved a nonexistent target", spec)
+		}
+	}
+
+	// The scheduled flap must actually fire.
+	eng.RunUntil(1500 * sim.Microsecond)
+	if !d.Bottleneck.Down() {
+		t.Error("default-target flap did not take the bottleneck down")
+	}
+	eng.RunUntil(10 * sim.Millisecond)
+	if d.Bottleneck.Down() {
+		t.Error("flap did not restore the bottleneck")
+	}
+}
+
+func TestDefaultPlan(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default plan not empty at start")
+	}
+	plan, _ := ParseSpec("flap@1ms+1ms")
+	SetDefault(plan)
+	if len(Default()) != 1 {
+		t.Error("SetDefault did not install the plan")
+	}
+	SetDefault(nil)
+	if Default() != nil {
+		t.Error("SetDefault(nil) did not clear the plan")
+	}
+}

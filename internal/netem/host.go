@@ -70,6 +70,12 @@ type Host struct {
 
 	Delay HostDelayConfig
 
+	// stallUntil, when in the future, models a host-side stall (a GC
+	// pause, hypervisor preemption, interrupt storm): credit processing
+	// is frozen and credited data is not offered for transmission until
+	// this instant. Injected by internal/faults.
+	stallUntil sim.Time
+
 	// Unclaimed counts packets that arrived for unregistered flows.
 	Unclaimed uint64
 }
@@ -131,6 +137,22 @@ func (h *Host) Send(pkt *packet.Packet) {
 
 // SampleProcDelay draws a credit-processing delay from the host model.
 func (h *Host) SampleProcDelay() sim.Duration { return h.Delay.Sample(h.rng) }
+
+// StallCreditsUntil freezes this host's credit processing until t
+// (extends, never shortens, an active stall). Credits that arrive
+// during the stall are not lost — the sender's response is simply
+// deferred to the stall end plus its normal processing delay, exactly
+// like a host whose credit loop was preempted.
+func (h *Host) StallCreditsUntil(t sim.Time) {
+	if t > h.stallUntil {
+		h.stallUntil = t
+	}
+}
+
+// CreditStallUntil returns the instant before which credit processing
+// is stalled (zero or past when no stall is active). Senders consult it
+// when scheduling credited data emission.
+func (h *Host) CreditStallUntil() sim.Time { return h.stallUntil }
 
 // Deliver hands pkt to the endpoint registered for its flow.
 func (h *Host) Deliver(pkt *packet.Packet, in *Port) {

@@ -163,6 +163,49 @@ func (n *Network) TotalCreditDrops() uint64 {
 	return d
 }
 
+// TotalFaultDrops sums fault-injected drops (downed-link admits, wire
+// losses mid-flap, queue flushes, seeded loss) across all ports.
+func (n *Network) TotalFaultDrops() uint64 {
+	var d uint64
+	for _, p := range n.ports {
+		d += p.faultDrops
+	}
+	return d
+}
+
+// linkUp reports whether the full-duplex link through p is healthy in
+// BOTH directions — no failure mark and no hard-down state on either
+// side. Routing (buildRoutesTo) calls this directly rather than any
+// per-direction flag, so a unidirectional failure excludes the reverse
+// direction from candidate routes everywhere: credits and data of one
+// flow must traverse the same links in opposite directions (§3.1), and
+// a link that cannot carry the returning class is no path at all.
+func linkUp(p *Port) bool {
+	return !p.failed && !p.down && !p.peer.failed && !p.peer.down
+}
+
+// SetLinkDown hard-fails (down=true) or restores the full-duplex link
+// through p — both directions at once; a flap takes the whole cable.
+// Going down flushes everything queued on either side into fault-drop
+// accounting, loses in-flight packets at their arrival instant (see
+// Port.transmit), and excludes the link from routing. Coming back up
+// restarts both transmitters. The caller rebuilds routes (BuildRoutes)
+// around the change, as a control plane would reconverge.
+func (n *Network) SetLinkDown(p *Port, down bool) {
+	a, b := p, p.peer
+	if a.down == down {
+		return
+	}
+	a.down, b.down = down, down
+	if down {
+		a.dropQueued()
+		b.dropQueued()
+	} else {
+		a.kick()
+		b.kick()
+	}
+}
+
 // BuildRoutes computes shortest-path ECMP route tables for every switch
 // toward every host, breadth-first from each destination. Candidate sets
 // contain every neighbor on some shortest path; SetRoutes sorts them by
@@ -189,7 +232,11 @@ func (n *Network) buildRoutesTo(dst packet.NodeID, adj [][]*Port) {
 		v := queue[0]
 		queue = queue[1:]
 		for _, p := range adj[v] {
-			if !p.Usable() {
+			// linkUp, not a per-direction check: a unidirectionally
+			// failed link must be excluded from BOTH directions so the
+			// forward data path and the reverse credit path stay
+			// symmetric (§3.1).
+			if !linkUp(p) {
 				continue
 			}
 			u := p.peer.owner.ID()
@@ -206,7 +253,7 @@ func (n *Network) buildRoutesTo(dst packet.NodeID, adj [][]*Port) {
 		}
 		var cand []int
 		for i, p := range sw.Ports() {
-			if p.Usable() && dist[p.peer.owner.ID()] == dist[sw.ID()]-1 {
+			if linkUp(p) && dist[p.peer.owner.ID()] == dist[sw.ID()]-1 {
 				cand = append(cand, i)
 			}
 		}

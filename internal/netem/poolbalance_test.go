@@ -129,6 +129,104 @@ func TestPoolBalanceMisroutedAndUnclaimed(t *testing.T) {
 	drainBalanced(t, eng, before, "misroute/unclaimed")
 }
 
+// TestPoolBalanceMidRunReroute pins the mid-run reconvergence contract:
+// failing a link and rebuilding routes while a burst is strung across
+// queues and wires must land every orphaned packet in the
+// misroute/unclaimed accounting — nothing may silently leak.
+func TestPoolBalanceMidRunReroute(t *testing.T) {
+	before := packet.Live()
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	swA := net.NewSwitch("swA")
+	swB := net.NewSwitch("swB")
+	src := net.NewHost("src", HardwareNICDelay())
+	dst := net.NewHost("dst", HardwareNICDelay())
+	cfg := PortConfig{Rate: 1 * unit.Gbps, Delay: 10 * sim.Microsecond,
+		DataCapacity: 64 * 1538}
+	net.Connect(src, swA, cfg)
+	net.Connect(swA, swB, cfg)
+	edge, _ := net.Connect(swB, dst, cfg)
+	net.BuildRoutes()
+
+	got := 0
+	dst.Register(1, endpointFunc(func(p *packet.Packet) {
+		got++
+		packet.Put(p)
+	}))
+	for i := 0; i < 40; i++ {
+		p := mkData(1538)
+		p.Flow = 1
+		p.Src = src.ID()
+		p.Dst = dst.ID()
+		src.Send(p)
+	}
+	// Mid-burst (the 40-packet burst takes ~500µs to serialize at
+	// 1 Gbps), fail the destination edge (routing-only) and reconverge:
+	// every switch's route to dst is cleared, so packets still in the
+	// fabric must hit Misrouted at the switch they reach.
+	eng.After(150*sim.Microsecond, func() {
+		edge.Fail()
+		net.BuildRoutes()
+	})
+	eng.Run()
+	if got == 0 {
+		t.Fatal("nothing delivered before the reroute")
+	}
+	if mis := swA.Misrouted + swB.Misrouted; mis == 0 {
+		t.Fatal("mid-run reroute orphaned no packets into Misrouted")
+	}
+	drainBalanced(t, eng, before, "mid-run reroute")
+}
+
+// TestPoolBalanceLinkDownFlush pins the hard-down fault path: taking a
+// link down mid-burst flushes both egress classes and loses in-flight
+// packets, all of it into fault-drop accounting with the pool balanced.
+func TestPoolBalanceLinkDownFlush(t *testing.T) {
+	before := packet.Live()
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	swA := net.NewSwitch("swA")
+	swB := net.NewSwitch("swB")
+	src := net.NewHost("src", HardwareNICDelay())
+	dst := net.NewHost("dst", HardwareNICDelay())
+	cfg := PortConfig{Rate: 1 * unit.Gbps, Delay: 10 * sim.Microsecond,
+		DataCapacity: 64 * 1538, CreditQueueCap: 8}
+	net.Connect(src, swA, cfg)
+	mid, _ := net.Connect(swA, swB, cfg)
+	net.Connect(swB, dst, cfg)
+	net.BuildRoutes()
+
+	got := 0
+	dst.Register(1, endpointFunc(func(p *packet.Packet) {
+		got++
+		packet.Put(p)
+	}))
+	for i := 0; i < 40; i++ {
+		p := mkData(1538)
+		p.Flow = 1
+		p.Src = src.ID()
+		p.Dst = dst.ID()
+		src.Send(p)
+	}
+	// Park some credits on the mid link too, so the flush covers both
+	// egress classes.
+	for i := 0; i < 4; i++ {
+		mid.Enqueue(mkCredit())
+	}
+	eng.After(50*sim.Microsecond, func() {
+		net.SetLinkDown(mid, true)
+		net.BuildRoutes()
+	})
+	eng.Run()
+	if got == 0 {
+		t.Fatal("nothing delivered before the link went down")
+	}
+	if net.TotalFaultDrops() == 0 {
+		t.Fatal("link-down flush destroyed nothing")
+	}
+	drainBalanced(t, eng, before, "link-down flush")
+}
+
 func TestPoolBalancePFCWithDrops(t *testing.T) {
 	before := packet.Live()
 	// PFC chain with an XOff so high it never pauses, plus a shallow

@@ -96,8 +96,19 @@ type Port struct {
 
 	busy       bool
 	failed     bool
+	down       bool // hard link-down (faults): queues flushed, arrivals lost
 	dataPaused bool
 	wake       sim.EventID
+
+	// Seeded fault loss (internal/faults): probability of destroying an
+	// admitted packet, split by queue class. lossRng is nil when no loss
+	// window is active, so the healthy path pays one nil check.
+	lossCredit float64
+	lossData   float64
+	lossRng    *sim.Rand
+
+	faultDrops     uint64
+	faultDropBytes unit.Bytes
 
 	// trace, when non-nil, receives per-packet events. The nil check at
 	// each emission site is the whole cost of disabled tracing.
@@ -132,6 +143,9 @@ type PortStats struct {
 	DataQueueMaxBytes unit.Bytes // peak data occupancy since reset
 	CreditQueueLen    int        // instantaneous credit occupancy
 	PFCPauses         uint64     // PAUSE frames this ingress signalled
+
+	FaultDrops     uint64     // packets destroyed by injected faults
+	FaultDropBytes unit.Bytes // wire bytes destroyed by injected faults
 }
 
 // Stats returns a snapshot of the port's counters.
@@ -150,6 +164,8 @@ func (p *Port) Stats() PortStats {
 		DataQueueMaxBytes: p.data.stats.MaxBytes,
 		CreditQueueLen:    p.CreditQueueLen(),
 		PFCPauses:         p.PFCPauses(),
+		FaultDrops:        p.faultDrops,
+		FaultDropBytes:    p.faultDropBytes,
 	}
 }
 
@@ -262,6 +278,24 @@ func (p *Port) ResetStats() {
 // ownership of pkt (dropped packets are recycled).
 func (p *Port) Enqueue(pkt *packet.Packet) {
 	now := p.eng.Now()
+	// Fault admit hook: a downed link destroys everything offered to it,
+	// and an active seeded-loss window destroys a per-class fraction.
+	// Both are checked before any queueing state changes so the drop
+	// accounting (and the packet pool) stays balanced.
+	if p.down {
+		p.faultDrop(pkt, now)
+		return
+	}
+	if rng := p.lossRng; rng != nil {
+		rate := p.lossData
+		if pkt.IsCredit() {
+			rate = p.lossCredit
+		}
+		if rate > 0 && rng.Float64() < rate {
+			p.faultDrop(pkt, now)
+			return
+		}
+	}
 	if pkt.IsCredit() && (p.sched != nil || p.credit.cap > 0) {
 		var rng *sim.Rand
 		if !p.cfg.CreditTailDrop {
@@ -399,6 +433,12 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	arrive := done + p.cfg.Delay
 	peer := p.peer
 	p.eng.At(arrive, func() {
+		if p.down || peer.down {
+			// The link flapped while the packet was in flight: it is
+			// lost on the wire, never reaching the peer.
+			p.faultDrop(pkt, p.eng.Now())
+			return
+		}
 		peer.pfcOnArrival(pkt)
 		peer.owner.Deliver(pkt, peer)
 	})
@@ -412,7 +452,9 @@ func (p *Port) String() string {
 // (Network.BuildRoutes) excludes the whole link — both directions — so
 // credits and data never split across a half-broken link (§3.1:
 // symmetric routing "requires a mechanism to exclude links that fail
-// unidirectionally").
+// unidirectionally"). Fail is a control-plane state only: packets
+// already queued or in flight still complete (use Network.SetLinkDown
+// for a hard fault that loses them).
 func (p *Port) Fail() { p.failed = true }
 
 // Restore clears a failure.
@@ -421,8 +463,56 @@ func (p *Port) Restore() { p.failed = false }
 // Failed reports whether this direction is marked failed.
 func (p *Port) Failed() bool { return p.failed }
 
-// Usable reports whether the link is healthy in both directions.
-func (p *Port) Usable() bool { return !p.failed && !p.peer.failed }
+// Usable reports whether the link is healthy in both directions: a
+// unidirectional failure or hard down state on either side excludes the
+// whole link.
+func (p *Port) Usable() bool { return linkUp(p) }
+
+// Down reports whether this direction is hard-down (Network.SetLinkDown).
+func (p *Port) Down() bool { return p.down }
+
+// FaultDrops returns packets destroyed at this port by injected faults
+// (downed-link admits, wire losses mid-flap, queue flushes, seeded loss).
+func (p *Port) FaultDrops() uint64 { return p.faultDrops }
+
+// SetFaultLoss installs seeded stochastic loss on this egress:
+// creditRate and dataRate are per-packet destruction probabilities for
+// the credit and data classes. rng must be a deterministic stream (fork
+// the engine's); pass nil rates≤0 semantics: a nil rng or both rates
+// zero clears the hook entirely.
+func (p *Port) SetFaultLoss(creditRate, dataRate float64, rng *sim.Rand) {
+	if rng == nil || (creditRate <= 0 && dataRate <= 0) {
+		p.lossCredit, p.lossData, p.lossRng = 0, 0, nil
+		return
+	}
+	p.lossCredit, p.lossData, p.lossRng = creditRate, dataRate, rng
+}
+
+// faultDrop destroys pkt at this port on behalf of an injected fault,
+// keeping drop accounting and the packet pool balanced.
+func (p *Port) faultDrop(pkt *packet.Packet, now sim.Time) {
+	p.faultDrops++
+	p.faultDropBytes += pkt.Wire
+	if tr := p.trace; tr != nil {
+		tr.Emit(obs.Event{T: now, Type: obs.EvFaultDrop, Scope: p.name,
+			Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire})
+	}
+	p.pfcOnDepart(pkt) // release ingress accounting if buffered here
+	packet.Put(pkt)
+}
+
+// dropQueued flushes both egress classes, destroying every queued
+// packet with fault accounting. Called when the link goes hard-down:
+// a real link flap loses whatever was buffered behind it.
+func (p *Port) dropQueued() {
+	now := p.eng.Now()
+	for !p.data.empty() {
+		p.faultDrop(p.data.pop(now), now)
+	}
+	for !p.creditEmpty() {
+		p.faultDrop(p.creditPop(now), now)
+	}
+}
 
 // RCPRate returns the port's current explicit RCP rate (0 when RCP is
 // not enabled on this port).

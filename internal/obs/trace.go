@@ -66,6 +66,19 @@ const (
 	// XOn and signalled the upstream transmitter. Val = ingress bytes.
 	EvPFCPause
 	EvPFCResume
+	// EvFaultStart / EvFaultEnd: a scheduled fault (link flap, seeded
+	// loss window, host stall) began / cleared. Scope is
+	// "<kind>:<target>" (e.g. "flap:swL->swR", "stall:h0"); Val/Aux carry
+	// the fault parameters (flap: Val = planned duration in ms; loss:
+	// Val = credit-class rate, Aux = data-class rate; stall: Val =
+	// planned duration in ms).
+	EvFaultStart
+	EvFaultEnd
+	// EvFaultDrop: a packet was destroyed by an active fault — admitted
+	// to a downed link, lost on the wire mid-flap, flushed from a downed
+	// port's queues, or hit by seeded loss. Scope is the port name;
+	// Flow/Seq/Bytes identify the victim.
+	EvFaultDrop
 
 	numEventTypes
 )
@@ -83,6 +96,9 @@ var eventNames = [numEventTypes]string{
 	EvFeedback:     "feedback",
 	EvPFCPause:     "pfc_pause",
 	EvPFCResume:    "pfc_resume",
+	EvFaultStart:   "fault_start",
+	EvFaultEnd:     "fault_end",
+	EvFaultDrop:    "fault_drop",
 }
 
 func (t EventType) String() string {

@@ -30,6 +30,9 @@ func fixedEvents() []Event {
 		{T: 9 * sim.Microsecond, Type: EvFeedback, Scope: "h1", Flow: 3, Val: 2.42, Aux: 0.03125, Aux2: 0.125},
 		{T: 10 * sim.Microsecond, Type: EvPFCPause, Scope: "tor->h1", Val: 66000},
 		{T: 11 * sim.Microsecond, Type: EvPFCResume, Scope: "tor->h1", Val: 31000},
+		{T: 12 * sim.Microsecond, Type: EvFaultStart, Scope: "flap:swL->swR", Val: 2},
+		{T: 13 * sim.Microsecond, Type: EvFaultDrop, Scope: "swL->swR", Flow: 3, Seq: 9, Bytes: 1538},
+		{T: 14 * sim.Microsecond, Type: EvFaultEnd, Scope: "flap:swL->swR", Val: 2},
 	}
 }
 

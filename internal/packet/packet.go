@@ -56,6 +56,10 @@ const (
 	CtrlCreditRequest
 	CtrlCreditStop
 	CtrlFin
+	// CtrlNack: the receiver saw CREDIT_STOP before the flow's bytes
+	// all arrived — credited data was lost. Ack carries the delivered
+	// byte count so the sender can reopen exactly the shortfall.
+	CtrlNack
 )
 
 func (c CtrlType) String() string {
@@ -72,6 +76,8 @@ func (c CtrlType) String() string {
 		return "CREDIT_STOP"
 	case CtrlFin:
 		return "FIN"
+	case CtrlNack:
+		return "NACK"
 	}
 	return fmt.Sprintf("ctrl(%d)", uint8(c))
 }
