@@ -3,13 +3,15 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check test bench bench-quick gate fmt vet race
+.PHONY: check test bench bench-quick bench-gate gate fmt vet race
 
 ## check: the pre-commit gate — vet, formatting, and the race-enabled
 ## tests of the engine, instrumentation, and parallel-runner layers
 ## (the packages with the subtlest invariants). The experiments package
 ## runs with -short so the full determinism gate (see `make gate`)
 ## stays out of the race budget; its obs byte-identity test still runs.
+## Run `make bench-gate` alongside check before committing hot-path
+## changes: it fails if the steady-state allocation budget regresses.
 check: vet
 	@unformatted=$$(gofmt -l $(GOFILES)); \
 	if [ -n "$$unformatted" ]; then \
@@ -41,6 +43,22 @@ bench:
 ## trials/sec, aggregate sim-events/sec, and speedup-vs-serial.
 bench-quick:
 	go test -run '^$$' -bench 'BenchmarkSweep(Fig18|Table3)' -benchtime 1x
+
+## bench-gate: allocation regression gate for the steady-state packet
+## path. BenchmarkHotPath drives a single credited flow across a 5-hop
+## chain; after warm-up its event loop must stay allocation-free (the
+## typed event API keeps every per-packet schedule on the engine free
+## list). Fails if allocs/op exceeds HOTPATH_ALLOC_BUDGET.
+HOTPATH_ALLOC_BUDGET ?= 0
+bench-gate:
+	@out=$$(go test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 200x .) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	allocs=$$(echo "$$out" | awk '/^BenchmarkHotPath/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \
+	if [ -z "$$allocs" ]; then echo "bench-gate: could not parse allocs/op"; exit 1; fi; \
+	if [ "$$allocs" -gt "$(HOTPATH_ALLOC_BUDGET)" ]; then \
+		echo "bench-gate: FAIL — $$allocs allocs/op exceeds budget $(HOTPATH_ALLOC_BUDGET)"; exit 1; \
+	fi; \
+	echo "bench-gate: OK ($$allocs allocs/op, budget $(HOTPATH_ALLOC_BUDGET))"
 
 fmt:
 	gofmt -w $(GOFILES)

@@ -1,0 +1,67 @@
+package expresspass_test
+
+// BenchmarkHotPath pins the per-packet allocation behaviour of the
+// simulator's steady-state path: one long-running ExpressPass flow
+// crossing a 5-hop linear topology (host → 4 switches → host), with the
+// credit loop saturated. Every iteration advances the simulation a
+// fixed slice of virtual time, so allocs/op measures exactly what the
+// recurring packet machinery allocates — event scheduling, queue
+// operations, credit pacing, and data emission — with all setup cost
+// excluded by ResetTimer.
+//
+// The typed event API (sim.Engine.At2) plus the packet pool make this
+// loop allocation-free: the benchmark's budget, enforced by
+// `make bench-gate`, is 0 allocs/op.
+
+import (
+	"testing"
+
+	"expresspass"
+)
+
+// hotPathSlice is the simulated time one benchmark iteration covers.
+// At 10 Gbps a slice carries ~80 data packets plus their credits, each
+// packet crossing 5 links — thousands of engine events per op.
+const hotPathSlice = 100 * expresspass.Microsecond
+
+func BenchmarkHotPath(b *testing.B) {
+	eng := expresspass.NewEngine(1)
+	net := expresspass.NewNetwork(eng)
+	link := expresspass.Link(10*expresspass.Gbps, 2*expresspass.Microsecond)
+
+	src := net.NewHost("src", expresspass.HardwareNIC())
+	dst := net.NewHost("dst", expresspass.HardwareNIC())
+	prev := expresspass.Node(src)
+	for _, name := range []string{"sw1", "sw2", "sw3", "sw4"} {
+		sw := net.NewSwitch(name)
+		net.Connect(prev, sw, link)
+		prev = sw
+	}
+	net.Connect(prev, dst, link)
+	net.BuildRoutes()
+
+	// Size 0 = unbounded flow: the credit loop never stops, so every
+	// iteration observes pure steady state.
+	f := expresspass.NewFlow(net, src, dst, 0, 0)
+	expresspass.Dial(f, expresspass.Config{BaseRTT: 40 * expresspass.Microsecond})
+
+	// Warm up past slow start so rate/feedback state stops changing and
+	// the engine free list and packet pool reach their working sets.
+	eng.RunFor(20 * expresspass.Millisecond)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := eng.Executed()
+	for i := 0; i < b.N; i++ {
+		eng.RunFor(hotPathSlice)
+	}
+	b.StopTimer()
+	events := eng.Executed() - start
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)/sec, "sim-events/sec")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	if f.BytesDelivered == 0 {
+		b.Fatal("hot-path flow delivered no data")
+	}
+}

@@ -32,6 +32,7 @@ import (
 // per-packet hot paths still run their nil-tracer fast path.
 func benchExperiment(b *testing.B, id string, scale float64) {
 	b.Helper()
+	b.ReportAllocs()
 	rt := expresspass.NewObsRuntime(expresspass.ObsConfig{})
 	expresspass.SetObsRuntime(rt)
 	defer expresspass.SetObsRuntime(nil)
@@ -126,6 +127,7 @@ func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", 0.004) }
 // determinism gate in internal/experiments).
 func benchSweep(b *testing.B, id string, scale float64) {
 	b.Helper()
+	b.ReportAllocs()
 	rt := expresspass.NewObsRuntime(expresspass.ObsConfig{})
 	expresspass.SetObsRuntime(rt)
 	defer expresspass.SetObsRuntime(nil)

@@ -64,6 +64,8 @@ type (
 	// Switch forwards packets with symmetric-hash ECMP and per-port
 	// credit rate limiting.
 	Switch = netem.Switch
+	// Node is anything a port can belong to: a switch or a host.
+	Node = netem.Node
 	// Port is one egress side of a link.
 	Port = netem.Port
 	// PortConfig configures one link direction.

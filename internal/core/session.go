@@ -34,9 +34,35 @@ func Dial(f *transport.Flow, cfg Config) *Session {
 	s.initObs()
 	f.Sender.Register(f.ID, s.snd)
 	f.Receiver.Register(f.ID, s.rcv)
-	eng.At(f.StartAt, s.snd.start)
+	eng.At2(f.StartAt, senderStart, s.snd, nil, 0)
 	return s
 }
+
+// Typed event handlers (sim.Handler2): every recurring session event —
+// timer re-arms, credit pacing, and credited data emission — schedules
+// through these static functions so the steady-state credit loop never
+// allocates. They are the pre-bound equivalents of the method values
+// the session used to pass to Engine.At/After, each of which allocated
+// a fresh closure per re-arm.
+
+func senderStart(obj, _ any, _ uint64)        { obj.(*sender).start() }
+func senderSendRequest(obj, _ any, _ uint64)  { obj.(*sender).sendRequest() }
+func senderSendStop(obj, _ any, _ uint64)     { obj.(*sender).sendStop() }
+func senderIdleTimeout(obj, _ any, _ uint64)  { obj.(*sender).onIdleTimeout() }
+func receiverSendCredit(obj, _ any, _ uint64) { obj.(*receiver).sendCredit() }
+func receiverTick(obj, _ any, _ uint64)       { obj.(*receiver).tick() }
+func receiverReqMissing(obj, _ any, _ uint64) { obj.(*receiver).requestMissing() }
+
+// senderEmitData unpacks the (payload, creditSeq) pair packed by
+// scheduleEmit: payload in the low 16 bits, credit sequence above.
+func senderEmitData(obj, _ any, arg uint64) {
+	obj.(*sender).emitData(unit.Bytes(arg&emitPayloadMask), int64(arg>>emitSeqShift))
+}
+
+const (
+	emitSeqShift    = 16
+	emitPayloadMask = 1<<emitSeqShift - 1
+)
 
 // initObs caches the network tracer on both endpoints (nil when tracing
 // is off — each emission site then costs one nil check) and registers
@@ -169,7 +195,7 @@ func (sn *sender) sendRequest() {
 	req.Dst = f.Receiver.ID()
 	req.Wire = unit.MinFrame
 	sn.host.Send(req)
-	sn.reqTimer = sn.eng.After(4*sn.sess.Cfg.BaseRTT, sn.sendRequest)
+	sn.reqTimer = sn.eng.After2(4*sn.sess.Cfg.BaseRTT, senderSendRequest, sn, nil, 0)
 }
 
 // OnPacket handles credits (and NACKs) arriving at the sender.
@@ -229,7 +255,15 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 		at = sn.lastEmit + 1
 	}
 	sn.lastEmit = at
-	sn.eng.At(at, func() { sn.emitData(payload, creditSeq) })
+	// Pack (payload, creditSeq) into the typed event's scalar arg:
+	// payload ≤ MTUPayload fits the low 16 bits, leaving 48 bits of
+	// credit sequence — enough for ~2.8e14 credits. The closure
+	// fallback keeps correctness absolute should a run ever exceed it.
+	if creditSeq < 1<<(64-emitSeqShift) && payload <= emitPayloadMask {
+		sn.eng.At2(at, senderEmitData, sn, nil, uint64(creditSeq)<<emitSeqShift|uint64(payload))
+	} else {
+		sn.eng.At(at, func() { sn.emitData(payload, creditSeq) })
+	}
 	if !sn.unbounded && sn.remaining <= 0 {
 		sn.sentAll = true
 		sn.maybeStop()
@@ -257,13 +291,17 @@ func (sn *sender) armIdleWatchdog() {
 	if sn.unbounded || sn.remaining <= 0 {
 		return
 	}
-	sn.idleTimer = sn.eng.After(8*sn.sess.Cfg.BaseRTT, func() {
-		if sn.remaining > 0 {
-			sn.stopSent = false
-			sn.gotCredit = false
-			sn.sendRequest()
-		}
-	})
+	sn.idleTimer = sn.eng.After2(8*sn.sess.Cfg.BaseRTT, senderIdleTimeout, sn, nil, 0)
+}
+
+// onIdleTimeout fires when data remains unsent but no credit arrived
+// for the whole watchdog window: walk the request arc again.
+func (sn *sender) onIdleTimeout() {
+	if sn.remaining > 0 {
+		sn.stopSent = false
+		sn.gotCredit = false
+		sn.sendRequest()
+	}
 }
 
 func (sn *sender) emitData(payload unit.Bytes, creditSeq int64) {
@@ -302,7 +340,7 @@ func (sn *sender) maybeStop() {
 		sn.stopSent = false // a full window of stray credits: stop was lost
 	}
 	if sn.sess.Cfg.StopTimeout > 0 {
-		sn.stopTimer = sn.eng.After(sn.sess.Cfg.StopTimeout, sn.sendStop)
+		sn.stopTimer = sn.eng.After2(sn.sess.Cfg.StopTimeout, senderSendStop, sn, nil, 0)
 		return
 	}
 	sn.sendStop()
@@ -315,7 +353,7 @@ func (sn *sender) sendStop() {
 		// not overtake them — the receiver reads a stop as "everything
 		// sent has arrived" and would NACK a tail that is still on its
 		// way.
-		sn.stopTimer = sn.eng.At(at, sn.sendStop)
+		sn.stopTimer = sn.eng.At2(at, senderSendStop, sn, nil, 0)
 		return
 	}
 	sn.stopSent = true
@@ -416,7 +454,7 @@ func (rc *receiver) OnPacket(p *packet.Packet) {
 		rc.nackRetries = 0
 		if f := rc.sess.Flow; f.Size > 0 && !f.Finished {
 			rc.nackTimer.Cancel()
-			rc.nackTimer = rc.eng.After(4*rc.sess.Cfg.BaseRTT, rc.requestMissing)
+			rc.nackTimer = rc.eng.After2(4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
 		}
 	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlFin:
 		packet.Put(p)
@@ -435,7 +473,7 @@ func (rc *receiver) startCredits() {
 	rc.active = true
 	rc.lastEcho = rc.nextSeq
 	rc.sendCredit()
-	rc.tickTimer = rc.eng.After(rc.sess.Cfg.Period, rc.tick)
+	rc.tickTimer = rc.eng.After2(rc.sess.Cfg.Period, receiverTick, rc, nil, 0)
 }
 
 func (rc *receiver) stopCredits() {
@@ -466,7 +504,7 @@ func (rc *receiver) requestMissing() {
 	nk.Ack = int64(f.BytesDelivered)
 	nk.Wire = unit.MinFrame
 	rc.host.Send(nk)
-	rc.nackTimer = rc.eng.After(4*rc.sess.Cfg.BaseRTT, rc.requestMissing)
+	rc.nackTimer = rc.eng.After2(4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
 }
 
 // sendCredit emits one credit and schedules the next per the current
@@ -505,7 +543,7 @@ func (rc *receiver) sendCredit() {
 	if gap < 1 {
 		gap = 1
 	}
-	rc.creditTimer = rc.eng.After(gap, rc.sendCredit)
+	rc.creditTimer = rc.eng.After2(gap, receiverSendCredit, rc, nil, 0)
 }
 
 // onData accounts delivered bytes and updates the echo-gap loss counts.
@@ -560,5 +598,5 @@ func (rc *receiver) tick() {
 		rc.prevHadSample = false
 	}
 	rc.delivered, rc.lost = 0, 0
-	rc.tickTimer = rc.eng.After(cfg.Period, rc.tick)
+	rc.tickTimer = rc.eng.After2(cfg.Period, receiverTick, rc, nil, 0)
 }

@@ -65,6 +65,8 @@ func (n *Network) registerEngineMetrics() {
 	r.Gauge("engine/events", func() float64 { return float64(e.Executed()) })
 	r.Gauge("engine/pending", func() float64 { return float64(e.Pending()) })
 	r.Gauge("engine/peak_heap", func() float64 { return float64(e.MaxPending()) })
+	r.Gauge("sim/freelist_size", func() float64 { return float64(e.FreeListSize()) })
+	r.Gauge("sim/freelist_drops", func() float64 { return float64(e.FreeListDrops()) })
 	ivalSec := n.rt.Interval().Seconds()
 	var last float64
 	r.Gauge("engine/events_per_sec", func() float64 {

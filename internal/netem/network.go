@@ -56,7 +56,6 @@ func (n *Network) NewHost(name string, delay HostDelayConfig) *Host {
 		net:   n,
 		eng:   n.Eng,
 		rng:   n.Eng.Rand().Fork(),
-		eps:   make(map[packet.FlowID]Endpoint),
 		Delay: delay,
 	}
 	n.nodes = append(n.nodes, h)
@@ -67,10 +66,9 @@ func (n *Network) NewHost(name string, delay HostDelayConfig) *Host {
 // NewSwitch adds a switch.
 func (n *Network) NewSwitch(name string) *Switch {
 	s := &Switch{
-		id:     packet.NodeID(len(n.nodes)),
-		name:   name,
-		net:    n,
-		routes: make(map[packet.NodeID][]int),
+		id:   packet.NodeID(len(n.nodes)),
+		name: name,
+		net:  n,
 	}
 	n.nodes = append(n.nodes, s)
 	n.switches = append(n.switches, s)

@@ -46,8 +46,13 @@ type Switch struct {
 	ports []*Port
 
 	// routes[dst] lists candidate egress port indexes (equal cost),
-	// sorted by peer node ID for deterministic ECMP.
-	routes map[packet.NodeID][]int
+	// sorted by peer node ID for deterministic ECMP. The table is a
+	// dense slice indexed by NodeID — node IDs are small contiguous
+	// integers, so this turns the per-hop route lookup into one bounds
+	// check and one load instead of a map probe. A nil entry (or an
+	// index past the end) means no route; BuildRoutes and fault
+	// reconvergence rebuild entries in place via SetRoutes/ClearRoutes.
+	routes [][]int
 
 	// hashSalt decorrelates ECMP choices between switch *levels* while
 	// preserving path symmetry: all switches at one level share a salt,
@@ -91,12 +96,30 @@ func (s *Switch) SetRoutes(dst packet.NodeID, portIdx []int) {
 	sort.Slice(sorted, func(i, j int) bool {
 		return s.ports[sorted[i]].peer.owner.ID() < s.ports[sorted[j]].peer.owner.ID()
 	})
+	s.growRoutes(dst)
 	s.routes[dst] = sorted
 }
 
 // ClearRoutes removes the route entry for dst (used when a failure
 // disconnects it from this switch).
-func (s *Switch) ClearRoutes(dst packet.NodeID) { delete(s.routes, dst) }
+func (s *Switch) ClearRoutes(dst packet.NodeID) {
+	if int(dst) < len(s.routes) {
+		s.routes[dst] = nil
+	}
+}
+
+// growRoutes extends the dense table to cover dst.
+func (s *Switch) growRoutes(dst packet.NodeID) {
+	if n := int(dst) + 1; n > len(s.routes) {
+		if n <= cap(s.routes) {
+			s.routes = s.routes[:n]
+		} else {
+			grown := make([][]int, n)
+			copy(grown, s.routes)
+			s.routes = grown
+		}
+	}
+}
 
 // SetSpraying switches the port-selection policy to per-packet random
 // spraying (§7: "Packet spraying is a viable alternative" to symmetric
@@ -105,11 +128,19 @@ func (s *Switch) ClearRoutes(dst packet.NodeID) { delete(s.routes, dst) }
 func (s *Switch) SetSpraying(on bool) { s.spray = on }
 
 // Routes returns the ECMP candidates for dst (nil if unreachable).
-func (s *Switch) Routes(dst packet.NodeID) []int { return s.routes[dst] }
+func (s *Switch) Routes(dst packet.NodeID) []int {
+	if uint(dst) >= uint(len(s.routes)) { // unsigned compare also rejects dst < 0
+		return nil
+	}
+	return s.routes[dst]
+}
 
 // NextPort returns the egress port the switch would pick for a packet of
 // the given flow toward dst, or nil if no route exists.
 func (s *Switch) NextPort(src, dst packet.NodeID, flow packet.FlowID) *Port {
+	if uint(dst) >= uint(len(s.routes)) { // unsigned compare also rejects dst < 0
+		return nil
+	}
 	cand := s.routes[dst]
 	switch len(cand) {
 	case 0:

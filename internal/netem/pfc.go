@@ -64,10 +64,9 @@ func (in *Port) pfcOnArrival(pkt *packet.Packet) {
 			tr.Emit(obs.Event{T: in.eng.Now(), Type: obs.EvPFCPause,
 				Scope: in.name, Val: float64(st.ingressBytes)})
 		}
-		upstream := in.peer
 		// PAUSE frames are tiny and bypass queues; model as a control
 		// signal delivered after one propagation delay.
-		in.eng.After(in.cfg.Delay, func() { upstream.setDataPaused(true) })
+		in.eng.After2(in.cfg.Delay, portSetDataPaused, in.peer, nil, 1)
 	}
 }
 
@@ -94,8 +93,7 @@ func (p *Port) pfcOnDepart(pkt *packet.Packet) {
 			tr.Emit(obs.Event{T: in.eng.Now(), Type: obs.EvPFCResume,
 				Scope: in.name, Val: float64(st.ingressBytes)})
 		}
-		upstream := in.peer
-		in.eng.After(in.cfg.Delay, func() { upstream.setDataPaused(false) })
+		in.eng.After2(in.cfg.Delay, portSetDataPaused, in.peer, nil, 0)
 	}
 }
 

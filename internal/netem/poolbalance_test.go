@@ -227,6 +227,57 @@ func TestPoolBalanceLinkDownFlush(t *testing.T) {
 	drainBalanced(t, eng, before, "link-down flush")
 }
 
+// TestPoolBalanceTypedTxPathInFlightLoss pins the typed tx event chain
+// (portTxDone / portArrive scheduled via At2, see transmit): packets
+// already serialized onto the wire when the link goes hard-down reach
+// their arrival instant inside the typed portArrive handler, which must
+// route them into fault-drop accounting and recycle them — combined
+// with drop-tail pressure on the same port so both typed-path exits
+// (deliver and drop) run in one scenario.
+func TestPoolBalanceTypedTxPathInFlightLoss(t *testing.T) {
+	before := packet.Live()
+	eng := sim.New(1)
+	net := NewNetwork(eng)
+	src := net.NewHost("src", HardwareNICDelay())
+	dst := net.NewHost("dst", HardwareNICDelay())
+	// Long wire: at 1 Gbps a 1538B frame serializes in ~12µs, so a
+	// 100µs delay keeps several packets in flight at any instant. The
+	// shallow egress queue forces drop-tail on the same burst.
+	link, _ := net.Connect(src, dst, PortConfig{
+		Rate: 1 * unit.Gbps, Delay: 100 * sim.Microsecond,
+		DataCapacity: 8 * 1538})
+	net.BuildRoutes()
+
+	got := 0
+	dst.Register(1, endpointFunc(func(p *packet.Packet) {
+		got++
+		packet.Put(p)
+	}))
+	for i := 0; i < 40; i++ {
+		p := mkData(1538)
+		p.Flow = 1
+		p.Src = src.ID()
+		p.Dst = dst.ID()
+		src.Send(p)
+	}
+	if link.DataStats().Drops == 0 {
+		t.Fatal("scenario failed to force drop-tail through the typed tx path")
+	}
+	// At 150µs several packets have been delivered, several are mid-air
+	// (their portArrive events pending), and the queue still holds more.
+	eng.After(150*sim.Microsecond, func() {
+		net.SetLinkDown(link, true)
+	})
+	eng.Run()
+	if got == 0 {
+		t.Fatal("nothing delivered before the link went down")
+	}
+	if net.TotalFaultDrops() == 0 {
+		t.Fatal("no in-flight packet was lost at its typed arrival event")
+	}
+	drainBalanced(t, eng, before, "typed tx path in-flight loss")
+}
+
 func TestPoolBalancePFCWithDrops(t *testing.T) {
 	before := packet.Live()
 	// PFC chain with an XOff so high it never pauses, plus a shallow

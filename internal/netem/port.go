@@ -386,9 +386,47 @@ func (p *Port) kick() {
 		// Only credits are waiting; wake when tokens accrue.
 		if !p.wake.Pending() {
 			at := p.bucket.readyAt(now, unit.MinFrame)
-			p.wake = p.eng.At(at, p.kick)
+			p.wake = p.eng.At2(at, portWake, p, nil, 0)
 		}
 	}
+}
+
+// Typed event handlers (sim.Handler2). These are the steady-state
+// packet events — transmitter done, wire arrival, token-bucket wake,
+// and PFC pause/resume — scheduled through Engine.At2 so the per-packet
+// path never allocates: the handler is a static function and the
+// receiver/packet pointers are stored inline in the recycled event
+// struct.
+
+// portWake re-runs the scheduler when credit tokens have accrued.
+func portWake(obj, _ any, _ uint64) { obj.(*Port).kick() }
+
+// portTxDone frees the transmitter after one serialization time.
+func portTxDone(obj, _ any, _ uint64) {
+	p := obj.(*Port)
+	p.busy = false
+	p.kick()
+}
+
+// portArrive lands pkt at the far end of p's link after propagation.
+func portArrive(obj, aux any, _ uint64) {
+	p := obj.(*Port)
+	pkt := aux.(*packet.Packet)
+	if p.down || p.peer.down {
+		// The link flapped while the packet was in flight: it is
+		// lost on the wire, never reaching the peer.
+		p.faultDrop(pkt, p.eng.Now())
+		return
+	}
+	peer := p.peer
+	peer.pfcOnArrival(pkt)
+	peer.owner.Deliver(pkt, peer)
+}
+
+// portSetDataPaused applies a PFC PAUSE (arg 1) or RESUME (arg 0) after
+// its propagation delay.
+func portSetDataPaused(obj, _ any, arg uint64) {
+	obj.(*Port).setDataPaused(arg != 0)
 }
 
 func (p *Port) transmit(pkt *packet.Packet) {
@@ -425,23 +463,10 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	}
 	p.pfcOnDepart(pkt)
 	done := p.eng.Now() + tx
-	p.eng.At(done, func() {
-		p.busy = false
-		p.kick()
-	})
+	p.eng.At2(done, portTxDone, p, nil, 0)
 	pkt.Hops++
 	arrive := done + p.cfg.Delay
-	peer := p.peer
-	p.eng.At(arrive, func() {
-		if p.down || peer.down {
-			// The link flapped while the packet was in flight: it is
-			// lost on the wire, never reaching the peer.
-			p.faultDrop(pkt, p.eng.Now())
-			return
-		}
-		peer.pfcOnArrival(pkt)
-		peer.owner.Deliver(pkt, peer)
-	})
+	p.eng.At2(arrive, portArrive, p, pkt, 0)
 }
 
 func (p *Port) String() string {

@@ -5,13 +5,32 @@ import "fmt"
 // Handler is a callback executed when an event fires.
 type Handler func()
 
+// Handler2 is the typed-event callback: a package-level function chosen
+// at the call site, invoked with the (obj, aux, arg) triple that was
+// stored inline in the event struct by At2/After2. Because the function
+// value is static and both any slots hold pointers, scheduling a typed
+// event performs no heap allocation — the alternative closure API (At)
+// allocates one closure per schedule and is kept for cold-path setup
+// and tests.
+type Handler2 func(obj, aux any, arg uint64)
+
 // event is a scheduled callback. seq breaks ties between events scheduled
 // for the same timestamp so execution order is deterministic (FIFO among
-// equal-time events).
+// equal-time events, regardless of which API scheduled them).
+//
+// Exactly one of fn (closure API) and h (typed API) is non-nil. The
+// typed triple lives inline so steady-state packet events never touch
+// the allocator: obj is the receiver (a *Port, *sender, …), aux an
+// optional second pointer (usually a *packet.Packet), arg an opaque
+// word for small scalars.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       Handler
+	h        Handler2
+	obj      any
+	aux      any
+	arg      uint64
 	canceled bool
 	index    int // heap index, -1 when popped
 }
@@ -48,13 +67,14 @@ func (id EventID) Pending() bool {
 // dispatch, which matters because heap churn dominates the simulator's
 // CPU profile.
 type Engine struct {
-	now     Time
-	heap    []*event
-	nextSeq uint64
-	rng     *Rand
-	nEvents uint64 // executed events, for instrumentation
-	maxHeap int    // peak heap depth, for instrumentation
-	free    []*event
+	now       Time
+	heap      []*event
+	nextSeq   uint64
+	rng       *Rand
+	nEvents   uint64 // executed events, for instrumentation
+	maxHeap   int    // peak heap depth, for instrumentation
+	free      []*event
+	freeDrops uint64 // recycles rejected by the free-list cap
 
 	// hook, when non-nil, observes every executed event (see SetHook).
 	// The disabled path costs exactly one predictable branch in Step.
@@ -82,6 +102,17 @@ func (e *Engine) Pending() int { return len(e.heap) }
 // MaxPending returns the peak event-heap depth observed so far — the
 // engine's memory high-water mark and a proxy for model fan-out.
 func (e *Engine) MaxPending() int { return e.maxHeap }
+
+// FreeListSize returns the number of event structs currently parked on
+// the recycling free list (instrumentation: obs exports it as
+// sim/freelist_size).
+func (e *Engine) FreeListSize() int { return len(e.free) }
+
+// FreeListDrops returns how many event structs were abandoned to the
+// garbage collector because the free list was at capacity. A non-zero
+// steady-state rate means the cap heuristic is losing recycling wins
+// (obs exports it as sim/freelist_drops).
+func (e *Engine) FreeListDrops() uint64 { return e.freeDrops }
 
 // SetHook installs a profiling hook invoked after every executed event
 // with the current time and remaining heap depth (nil uninstalls).
@@ -165,9 +196,11 @@ func (e *Engine) popMin() *event {
 	return ev
 }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// panics: it always indicates a logic bug in a model.
-func (e *Engine) At(at Time, fn Handler) EventID {
+// alloc claims a recycled event struct (or allocates a fresh one),
+// stamps it with at and the next sequence number, and pushes it on the
+// heap. Shared by the closure and typed scheduling APIs so tie-breaking
+// seq order is identical no matter which API scheduled an event.
+func (e *Engine) alloc(at Time) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", at, e.now))
 	}
@@ -180,15 +213,43 @@ func (e *Engine) At(at Time, fn Handler) EventID {
 	}
 	ev.at = at
 	ev.seq = e.nextSeq
-	ev.fn = fn
 	ev.canceled = false
 	e.nextSeq++
 	e.push(ev)
+	return ev
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a logic bug in a model. Each call stores
+// a closure; per-packet schedulers should use At2 instead, which is
+// allocation-free.
+func (e *Engine) At(at Time, fn Handler) EventID {
+	ev := e.alloc(at)
+	ev.fn = fn
 	return EventID{ev, ev.seq}
 }
 
 // After schedules fn to run d from now.
 func (e *Engine) After(d Duration, fn Handler) EventID { return e.At(e.now+d, fn) }
+
+// At2 schedules the typed event h(obj, aux, arg) at absolute time at.
+// The triple is stored inline in the recycled event struct, so — given
+// a package-level h and pointer-typed obj/aux — scheduling allocates
+// nothing in steady state. Ordering is identical to At: events fire in
+// (time, seq) order with seq assigned across both APIs by call order.
+func (e *Engine) At2(at Time, h Handler2, obj, aux any, arg uint64) EventID {
+	ev := e.alloc(at)
+	ev.h = h
+	ev.obj = obj
+	ev.aux = aux
+	ev.arg = arg
+	return EventID{ev, ev.seq}
+}
+
+// After2 schedules the typed event h(obj, aux, arg) to run d from now.
+func (e *Engine) After2(d Duration, h Handler2, obj, aux any, arg uint64) EventID {
+	return e.At2(e.now+d, h, obj, aux, arg)
+}
 
 // Step executes the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
@@ -199,10 +260,15 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
-		fn := ev.fn
+		fn, h := ev.fn, ev.h
+		obj, aux, arg := ev.obj, ev.aux, ev.arg
 		e.recycle(ev)
 		e.nEvents++
-		fn()
+		if h != nil {
+			h(obj, aux, arg)
+		} else {
+			fn()
+		}
 		if e.hook != nil {
 			e.hook(e.now, len(e.heap))
 		}
@@ -211,10 +277,27 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// recycle parks a popped event struct for reuse, dropping its payload
+// references so recycled structs never pin handlers, receivers, or
+// packets for the GC. The free-list cap scales with the observed peak
+// heap depth (floor 4096): the live struct population is bounded by
+// maxHeap, so this cap retains essentially every struct ever allocated
+// while still bounding a pathological burst. The hard-coded 4096 it
+// replaces silently re-allocated under Table 3-scale heaps (~64k
+// pending events).
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
-	if len(e.free) < 4096 {
+	ev.h = nil
+	ev.obj = nil
+	ev.aux = nil
+	limit := e.maxHeap
+	if limit < 4096 {
+		limit = 4096
+	}
+	if len(e.free) < limit {
 		e.free = append(e.free, ev)
+	} else {
+		e.freeDrops++
 	}
 }
 

@@ -4,8 +4,9 @@ import "testing"
 
 // These tests pin down the engine's event-recycling behaviour at the
 // Run/RunUntil boundary: canceled heads must be drained and recycled
-// without executing, and the free list must reuse structs but never
-// grow past its 4096 cap no matter how the run is chunked.
+// without executing, and the free list must reuse structs while its
+// cap scales with the observed peak heap depth (floor 4096) so large
+// heaps never leak recycles to the garbage collector.
 
 // TestRunUntilRecyclesCanceledHeadAtDeadline cancels the only pending
 // event and asks RunUntil to stop before the event's timestamp. The
@@ -54,49 +55,68 @@ func TestRunUntilReusesRecycledCanceledHead(t *testing.T) {
 	}
 }
 
-// TestFreeListCapHoldsAcrossRunBoundaries churns far more events than
-// the free-list cap through a mix of Run and RunUntil chunks and
-// requires the cap to hold at every boundary while structs keep being
-// reused (the free list drains as At claims from it).
-func TestFreeListCapHoldsAcrossRunBoundaries(t *testing.T) {
-	const cap = 4096
+// freeLimit mirrors the engine's recycle cap: the observed peak heap
+// depth with a 4096 floor.
+func freeLimit(e *Engine) int {
+	if e.maxHeap < 4096 {
+		return 4096
+	}
+	return e.maxHeap
+}
+
+// TestFreeListScalesWithMaxHeap churns far more events than the old
+// hard-coded 4096 cap through a mix of Run and RunUntil chunks and
+// requires (a) every recycle to be retained — the cap now scales with
+// the peak heap depth, so Table 3-scale heaps no longer leak recycled
+// structs to the GC — and (b) structs to keep being reused (the free
+// list drains as At claims from it).
+func TestFreeListScalesWithMaxHeap(t *testing.T) {
+	const burst = 3 * 4096 // well past the old fixed cap
 	e := New(1)
-	// Phase 1: exceed the cap in one Run. Schedule 3×cap events at
-	// distinct times and run them all.
-	for i := 0; i < 3*cap; i++ {
+	// Phase 1: schedule one big burst at distinct times and run it all.
+	// Peak heap = burst, so every struct must come back to the free list
+	// and none may be dropped.
+	for i := 0; i < burst; i++ {
 		e.At(Time(i)*Nanosecond, func() {})
 	}
 	e.Run()
-	if len(e.free) != cap {
-		t.Fatalf("after Run: free list %d, want exactly cap %d", len(e.free), cap)
+	if len(e.free) != burst {
+		t.Fatalf("after Run: free list %d, want all %d recycles retained", len(e.free), burst)
+	}
+	if got := e.FreeListDrops(); got != 0 {
+		t.Fatalf("FreeListDrops = %d after burst, want 0 (cap must scale)", got)
+	}
+	if got := e.FreeListSize(); got != len(e.free) {
+		t.Fatalf("FreeListSize = %d, want %d", got, len(e.free))
 	}
 
 	// Phase 2: claim half the free list back without running anything;
 	// the structs must come from the free list, not fresh allocations.
 	base := e.Now()
-	for i := 0; i < cap/2; i++ {
+	for i := 0; i < burst/2; i++ {
 		e.At(base+Time(i+1)*Microsecond, func() {})
 	}
-	if len(e.free) != cap/2 {
+	if len(e.free) != burst/2 {
 		t.Fatalf("free list %d after %d claims, want %d — At is not reusing",
-			len(e.free), cap/2, cap/2)
+			len(e.free), burst/2, burst/2)
 	}
 
 	// Phase 3: run them in RunUntil chunks that split the pending set;
-	// the free list refills but never exceeds the cap at any boundary.
-	for !func() bool { return e.Pending() == 0 }() {
+	// the free list refills but never exceeds the scaled cap at any
+	// boundary.
+	for e.Pending() > 0 {
 		e.RunUntil(e.Now() + 100*Microsecond)
-		if len(e.free) > cap {
-			t.Fatalf("free list %d exceeds cap %d mid-RunUntil", len(e.free), cap)
+		if len(e.free) > freeLimit(e) {
+			t.Fatalf("free list %d exceeds scaled cap %d mid-RunUntil", len(e.free), freeLimit(e))
 		}
 	}
-	if len(e.free) != cap {
-		t.Fatalf("after chunked RunUntil: free list %d, want cap %d", len(e.free), cap)
+	if len(e.free) != burst {
+		t.Fatalf("after chunked RunUntil: free list %d, want %d", len(e.free), burst)
 	}
 
-	// Phase 4: cancel a full cap of events and drain them through
-	// RunUntil; canceled recycles respect the cap too.
-	ids := make([]EventID, 2*cap)
+	// Phase 4: cancel a heap's worth of events and drain them through
+	// RunUntil; canceled recycles are retained too.
+	ids := make([]EventID, burst/2)
 	for i := range ids {
 		ids[i] = e.At(e.Now()+Time(i+1)*Nanosecond, func() {})
 	}
@@ -110,8 +130,11 @@ func TestFreeListCapHoldsAcrossRunBoundaries(t *testing.T) {
 	if got := e.Executed() - before; got != 0 {
 		t.Fatalf("%d canceled events executed", got)
 	}
-	if len(e.free) != cap {
-		t.Fatalf("after canceled drain: free list %d, want cap %d", len(e.free), cap)
+	if len(e.free) != burst {
+		t.Fatalf("after canceled drain: free list %d, want %d", len(e.free), burst)
+	}
+	if got := e.FreeListDrops(); got != 0 {
+		t.Fatalf("FreeListDrops = %d after full churn, want 0", got)
 	}
 }
 

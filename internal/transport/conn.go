@@ -129,6 +129,20 @@ type connReceiver struct{ c *Conn }
 func (s connSender) OnPacket(p *packet.Packet)   { s.c.onAckPacket(p) }
 func (r connReceiver) OnPacket(p *packet.Packet) { r.c.onDataPacket(p) }
 
+// Typed event handlers (sim.Handler2): the per-ACK RTO re-arm, the
+// per-segment pace timer, and the per-segment jittered transmit all
+// schedule through these static functions so a window- or rate-paced
+// sender's steady state stays off the heap allocator.
+
+func connStart(obj, _ any, _ uint64)    { obj.(*Conn).start() }
+func connPaceNext(obj, _ any, _ uint64) { obj.(*Conn).paceNext() }
+func connOnRTO(obj, _ any, _ uint64)    { obj.(*Conn).onRTO() }
+
+// connSend pushes a jitter-delayed segment out the sender NIC.
+func connSend(obj, aux any, _ uint64) {
+	obj.(*Conn).Flow.Sender.Send(aux.(*packet.Packet))
+}
+
 // NewConn wires a connection for f and schedules its start. cc may not
 // be nil.
 func NewConn(f *Flow, cc CC, cfg ConnConfig) *Conn {
@@ -149,7 +163,7 @@ func NewConn(f *Flow, cc CC, cfg ConnConfig) *Conn {
 	}
 	f.Sender.Register(f.ID, connSender{c})
 	f.Receiver.Register(f.ID, connReceiver{c})
-	c.eng.At(f.StartAt, c.start)
+	c.eng.At2(f.StartAt, connStart, c, nil, 0)
 	return c
 }
 
@@ -250,7 +264,7 @@ func (c *Conn) paceNext() {
 		c.PaceRate = c.Flow.Sender.LineRate() / 1000
 	}
 	gap := unit.TxTime(unit.MaxFrame, c.PaceRate)
-	c.paceTimer = c.eng.After(gap, c.paceNext)
+	c.paceTimer = c.eng.After2(gap, connPaceNext, c, nil, 0)
 }
 
 // emitSegment sends the segment at sendPoint and advances it.
@@ -291,8 +305,7 @@ func (c *Conn) sendSegmentAt(seq int64) unit.Bytes {
 			at = c.lastTx + 1
 		}
 		c.lastTx = at
-		snd := c.Flow.Sender
-		c.eng.At(at, func() { snd.Send(p) })
+		c.eng.At2(at, connSend, c, p, 0)
 	} else {
 		c.Flow.Sender.Send(p)
 	}
@@ -438,7 +451,7 @@ func (c *Conn) rto() sim.Duration {
 
 func (c *Conn) armRTO() {
 	c.rtoTimer.Cancel()
-	c.rtoTimer = c.eng.After(c.rto(), c.onRTO)
+	c.rtoTimer = c.eng.After2(c.rto(), connOnRTO, c, nil, 0)
 }
 
 func (c *Conn) onRTO() {
