@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check test bench bench-quick bench-gate gate fmt vet race
+.PHONY: check test bench bench-quick bench-gate gate fmt vet race fuzz-smoke cover
 
 ## check: the pre-commit gate — vet, formatting, and the race-enabled
 ## tests of the engine, instrumentation, and parallel-runner layers
@@ -17,9 +17,37 @@ check: vet
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
-	go test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/faults/...
+	go test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/faults/... ./internal/invariant/... ./internal/scenario/...
 	go test -race -short ./internal/experiments/...
+	@$(MAKE) --no-print-directory fuzz-smoke
 	@echo "check: OK"
+
+## fuzz-smoke: an 8-seed scenario-fuzz sweep (~30s) with every runtime
+## invariant checker armed, under the race detector. Set
+## XPSIM_FUZZ_SEEDS=64 XPSIM_FUZZ_BASE=1000 for a longer shifted soak;
+## a failing seed prints its exact replay command.
+fuzz-smoke:
+	XPSIM_FUZZ_SEEDS=$${XPSIM_FUZZ_SEEDS:-8} go test -race -count=1 -run TestFuzzSmoke ./internal/scenario/
+	@echo "fuzz-smoke: OK"
+
+## cover: per-package statement coverage, with enforced floors on the
+## baseline congestion-control packages (their conformance suites pin
+## hand-computed algorithm steps, so coverage regressions there mean
+## untested control-law branches).
+COVER_FLOOR ?= 80
+cover:
+	@go test -cover ./internal/... . | awk '{ print }' ; \
+	fail=0; \
+	for pkg in dctcp rcp dx hull cubic; do \
+		pct=$$(go test -cover ./internal/$$pkg/ 2>/dev/null | awk '{ for (i=1; i<=NF; i++) if ($$i == "coverage:") { sub(/%.*/, "", $$(i+1)); print $$(i+1) } }'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage figure for internal/$$pkg"; fail=1; continue; fi; \
+		if [ $$(echo "$$pct" | cut -d. -f1) -lt $(COVER_FLOOR) ]; then \
+			echo "cover: FAIL — internal/$$pkg at $$pct% (floor $(COVER_FLOOR)%)"; fail=1; \
+		else \
+			echo "cover: internal/$$pkg $$pct% >= $(COVER_FLOOR)%"; \
+		fi; \
+	done; \
+	exit $$fail
 
 ## gate: the full serial-vs-parallel determinism gate — every registered
 ## experiment, including the heavy realistic workloads, run at -procs 1

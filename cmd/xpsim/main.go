@@ -29,6 +29,13 @@
 //	-cpuprofile FILE  Go CPU profile of the run
 //	-memprofile FILE  heap profile written at exit
 //	-pprof ADDR       serve net/http/pprof (e.g. localhost:6060)
+//
+// Verification flags (see internal/invariant and internal/scenario):
+//
+//	-invariants       arm the runtime invariant checkers for the run;
+//	                  any violation prints and exits nonzero
+//	-scenario-seed N  replay fuzz scenario N (seed ≥ 1) with all
+//	                  invariants armed, instead of running experiments
 package main
 
 import (
@@ -60,6 +67,10 @@ func main() {
 		"fault timeline for ext-faults-* experiments, e.g. 'flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms'")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
 		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
+	invariants := flag.Bool("invariants", false,
+		"arm the runtime invariant checkers; violations are printed and exit nonzero")
+	scenarioSeed := flag.Uint64("scenario-seed", 0,
+		"run the fuzz scenario for this seed (with invariants armed) instead of experiments")
 	flag.Parse()
 
 	expresspass.SetSweepProcs(*procs)
@@ -76,6 +87,22 @@ func main() {
 	if *list {
 		for _, e := range expresspass.Experiments() {
 			fmt.Printf("%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	if *scenarioSeed != 0 {
+		rep := expresspass.RunScenario(*scenarioSeed, expresspass.ScenarioOptions{})
+		fmt.Println(rep)
+		for i, v := range rep.Violations {
+			if i == 16 {
+				fmt.Fprintf(os.Stderr, "xpsim: ... %d more violations\n", len(rep.Violations)-16)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "xpsim: invariant violation: %s\n", v)
+		}
+		if len(rep.Violations) > 0 {
+			os.Exit(1)
 		}
 		return
 	}
@@ -106,6 +133,10 @@ func main() {
 		obs.SetActive(rt)
 	}
 
+	if *invariants {
+		expresspass.ArmInvariants(expresspass.InvariantOptions{})
+	}
+
 	params := expresspass.ExperimentParams{Scale: *scale, Seed: *seed}
 	code := 0
 	for _, id := range ids {
@@ -116,6 +147,22 @@ func main() {
 			break
 		}
 		fmt.Printf("   (%s wall)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *invariants {
+		expresspass.FinishArmedInvariants()
+		if n := expresspass.InvariantCount(); n > 0 {
+			for i, v := range expresspass.InvariantViolations() {
+				if i == 16 {
+					break
+				}
+				fmt.Fprintf(os.Stderr, "xpsim: invariant violation: %s\n", v)
+			}
+			fmt.Fprintf(os.Stderr, "xpsim: %d invariant violations\n", n)
+			code = 1
+		} else {
+			fmt.Fprintln(os.Stderr, "xpsim: invariants clean")
+		}
 	}
 
 	if rt != nil {

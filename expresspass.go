@@ -35,9 +35,11 @@ import (
 	"expresspass/internal/core"
 	"expresspass/internal/experiments"
 	"expresspass/internal/faults"
+	"expresspass/internal/invariant"
 	"expresspass/internal/netem"
 	"expresspass/internal/obs"
 	"expresspass/internal/runner"
+	"expresspass/internal/scenario"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/transport"
@@ -246,4 +248,41 @@ func Experiments() []Experiment { return experiments.All() }
 // table(s) to w. Scale 1.0 reproduces the paper-scale configuration.
 func RunExperiment(id string, p ExperimentParams, w io.Writer) error {
 	return experiments.Run(id, p, w)
+}
+
+// InvariantOptions configures the runtime invariant checkers (see
+// internal/invariant). The zero value enables every check.
+type InvariantOptions = invariant.Options
+
+// InvariantViolation is one detected breach of a paper property.
+type InvariantViolation = invariant.Violation
+
+// ArmInvariants attaches a runtime invariant checker to every network
+// created after this call (xpsim's -invariants flag). Violations land
+// in the process-wide registry unless opt routes them elsewhere.
+func ArmInvariants(opt InvariantOptions) { invariant.Arm(opt) }
+
+// DisarmInvariants stops checking networks created after this call.
+func DisarmInvariants() { invariant.Disarm() }
+
+// FinishArmedInvariants flushes every armed checker's deferred findings
+// and releases the networks they reference, returning what was flushed.
+func FinishArmedInvariants() []InvariantViolation { return invariant.FinishArmed() }
+
+// InvariantViolations snapshots the process-wide violation registry.
+func InvariantViolations() []InvariantViolation { return invariant.Violations() }
+
+// InvariantCount returns the total number of violations recorded.
+func InvariantCount() uint64 { return invariant.Count() }
+
+// ScenarioOptions tunes the deterministic scenario fuzzer.
+type ScenarioOptions = scenario.Options
+
+// ScenarioReport summarizes one generated fuzz run.
+type ScenarioReport = scenario.Report
+
+// RunScenario generates and runs the fuzz scenario for seed with every
+// invariant armed (xpsim's -scenario-seed flag; see internal/scenario).
+func RunScenario(seed uint64, opt ScenarioOptions) ScenarioReport {
+	return scenario.Run(seed, opt)
 }

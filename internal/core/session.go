@@ -318,6 +318,11 @@ func (sn *sender) emitData(payload unit.Bytes, creditSeq int64) {
 	}
 	d.CreditSeq = creditSeq
 	sn.dataSent++
+	// Emit before Send: the port takes ownership of d and may recycle it.
+	if tr := sn.trace; tr != nil {
+		tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvDataSend,
+			Scope: sn.host.Name(), Flow: int64(f.ID), Seq: creditSeq, Bytes: payload})
+	}
 	sn.host.Send(d)
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"expresspass/internal/invariant"
 	"expresspass/internal/obs"
 	"expresspass/internal/runner"
 )
@@ -73,13 +74,19 @@ func gateWorkers() int {
 // TestSerialParallelByteIdentical is the determinism gate: every
 // registered experiment must produce byte-identical output when its
 // sweep trials run serially (-procs 1) and when they fan out across
-// the worker pool, at the same seed.
+// the worker pool, at the same seed. The whole gate runs with the
+// runtime invariant checkers armed, so it doubles as a paper-property
+// audit of every registered experiment: arming must neither change any
+// output byte nor surface a single violation.
 func TestSerialParallelByteIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("determinism gate runs every experiment twice")
 	}
 	all := os.Getenv("XPSIM_GATE_ALL") != ""
 	workers := gateWorkers()
+	invariant.Reset()
+	invariant.Arm(invariant.Options{})
+	defer invariant.Disarm()
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
@@ -96,6 +103,19 @@ func TestSerialParallelByteIdentical(t *testing.T) {
 			if !bytes.Equal(serial, parallel) {
 				t.Errorf("output differs between -procs 1 and -procs %d\nserial:\n%s\nparallel:\n%s",
 					workers, serial, parallel)
+			}
+			// Flush positional (queue/delay) findings and release the
+			// experiment's networks before the next one runs.
+			invariant.FinishArmed()
+			if n := invariant.Count(); n != 0 {
+				for i, v := range invariant.Violations() {
+					if i == 8 {
+						break
+					}
+					t.Errorf("invariant violation: %s", v)
+				}
+				t.Errorf("%d invariant violations with checkers armed", n)
+				invariant.Reset()
 			}
 		})
 	}

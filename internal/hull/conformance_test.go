@@ -1,0 +1,51 @@
+package hull_test
+
+import (
+	"testing"
+
+	"expresspass/internal/hull"
+	"expresspass/internal/unit"
+)
+
+// TestHULLHostIsConservativeDCTCP pins the composition contract: the
+// host side is stock DCTCP started at α = 1 (the NSDI paper's
+// conservative start), regardless of the HULL knobs.
+func TestHULLHostIsConservativeDCTCP(t *testing.T) {
+	for _, cfg := range []hull.Config{
+		{},
+		{DrainFactor: 0.9, MarkThreshold: 3 * unit.KB, G: 1.0 / 8},
+	} {
+		cc := hull.New(cfg)
+		if cc == nil {
+			t.Fatal("no controller")
+		}
+		if a := cc.Alpha(); a != 1 {
+			t.Fatalf("initial alpha = %v, want 1", a)
+		}
+	}
+}
+
+// TestHULLPortFeaturePassthrough checks the phantom-queue feature is
+// configured exactly as asked — γ and threshold go through untouched
+// (netem applies its own defaults to zero values).
+func TestHULLPortFeaturePassthrough(t *testing.T) {
+	steps := []struct {
+		cfg       hull.Config
+		wantDrain float64
+		wantMark  unit.Bytes
+	}{
+		{hull.Config{DrainFactor: 0.95, MarkThreshold: 1 * unit.KB}, 0.95, 1 * unit.KB},
+		{hull.Config{DrainFactor: 0.90, MarkThreshold: 6 * unit.KB}, 0.90, 6 * unit.KB},
+		{hull.Config{}, 0, 0},
+	}
+	for i, s := range steps {
+		pq := hull.PortFeature(s.cfg)
+		if pq == nil {
+			t.Fatalf("step %d: no feature", i)
+		}
+		if pq.DrainFactor != s.wantDrain || pq.MarkThreshold != s.wantMark {
+			t.Fatalf("step %d: got γ=%v thr=%v, want γ=%v thr=%v",
+				i, pq.DrainFactor, pq.MarkThreshold, s.wantDrain, s.wantMark)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+package invariant
+
+import (
+	"fmt"
+	"sync"
+
+	"expresspass/internal/netem"
+	"expresspass/internal/obs"
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// Checker validates one network's trace stream against the paper's
+// invariants. It is an obs.Sink spliced in front of whatever tracer the
+// network already had: every event is checked, then forwarded, so
+// existing trace output is byte-identical with the checker installed.
+//
+// A Checker is single-goroutine like the simulation itself (under the
+// parallel sweep runner it lives entirely on its trial's worker
+// goroutine); only the violation registry it reports into is shared.
+type Checker struct {
+	opt   Options
+	net   *netem.Network
+	prior *obs.Tracer // the tracer displaced by Attach; nil if none
+
+	flows map[int64]*flowState
+	ports map[string]*portState
+	// voided: a host-stall fault ran or routes were rebuilt mid-run;
+	// either breaks the stable-routing/bounded-Δd_host premises the §3.1
+	// positional (queue/delay) bounds are derived from, so Finish
+	// discards them. Conservation and token-bucket checks stay armed.
+	voided bool
+	done   bool
+}
+
+// flowState is the credit-conservation ledger of one ExpressPass flow:
+// credit sequences received by the sender and not yet spent on data.
+type flowState struct {
+	outstanding map[int64]struct{}
+}
+
+// portState is the per-port shadow meter and queue/delay tracker.
+type portState struct {
+	name    string
+	metered bool // has a credit class: shadow-meter its credit tx
+	exempt  bool // carries uncredited traffic: queue/delay checks off
+
+	// Shadow token bucket, same arithmetic as netem's: tokens are bytes,
+	// refilled at the port's configured credit ratio of line rate, capped
+	// at the spec tolerance (NOT the port's configured burst — that is
+	// the thing under test). Each credit is charged its nominal MinFrame,
+	// mirroring the scheduler.
+	rate   unit.Rate
+	tokens float64
+	tol    float64
+	last   sim.Time
+
+	// Queue/delay bound state. fifo holds enqueue timestamps of packets
+	// currently in the data queue (the queue is strict FIFO, so Deq
+	// events pair with the oldest entry).
+	bound    float64
+	delayCap sim.Duration
+	noDelay  bool // PFC can pause the queue: delay cap not meaningful
+	fifo     []sim.Time
+	fifoHead int
+
+	// Queue/delay findings are positional: a port that later turns out
+	// to carry uncredited (non-ExpressPass) traffic is exempt, so its
+	// findings are held here until Finish instead of reported at event
+	// time. Capped; overflow is summarized.
+	pending        []Violation
+	pendingDropped int
+}
+
+const pendingCap = 8
+
+// shadowEps absorbs float associativity drift between the shadow meter
+// and the port's bucket (they refill at different instants).
+const shadowEps = 0.01 // bytes
+
+// Attach splices a Checker into net's trace path and returns it. Call
+// it before traffic flows (ideally right after the network is built —
+// Arm does it from the network-creation hook) and after any SetTracer
+// the caller performs, or the checker will be displaced.
+func Attach(net *netem.Network, opt Options) *Checker {
+	c := &Checker{
+		opt:   opt.withDefaults(),
+		net:   net,
+		prior: net.Tracer(),
+		flows: make(map[int64]*flowState),
+		ports: make(map[string]*portState),
+	}
+	net.SetTracer(obs.NewTracer(c))
+	return c
+}
+
+// Record checks ev and forwards it to the displaced tracer. It is the
+// obs.Sink entry point; simulation code never calls it directly.
+func (c *Checker) Record(ev obs.Event) {
+	if !c.done {
+		switch ev.Type {
+		case obs.EvCreditRecv:
+			c.onCreditRecv(ev)
+		case obs.EvDataSend:
+			c.onDataSend(ev)
+		case obs.EvCreditWaste:
+			c.onCreditWaste(ev)
+		case obs.EvCreditTx:
+			c.onCreditTx(ev)
+		case obs.EvDataEnq:
+			c.onDataEnq(ev)
+		case obs.EvDataDeq:
+			c.onDataDeq(ev)
+		case obs.EvDataDrop:
+			c.onDataDrop(ev)
+		case obs.EvFaultDrop:
+			c.onFaultDrop(ev)
+		case obs.EvFaultStart:
+			c.onFaultStart(ev)
+		case obs.EvRouteBuild:
+			c.voided = true
+		}
+	}
+	if c.prior != nil {
+		c.prior.Emit(ev)
+	}
+}
+
+// Close implements obs.Sink by finishing the checker. The displaced
+// tracer is NOT closed — its owner (the obs runtime or the test that
+// installed it) retains that responsibility.
+func (c *Checker) Close() error {
+	c.Finish()
+	return nil
+}
+
+// Finish flushes the positional (queue/delay) findings of every port
+// that never proved exempt, reports them, releases the checker's hold
+// on the network, and returns the flushed violations. Idempotent; the
+// checker keeps forwarding events afterwards but checks nothing more.
+func (c *Checker) Finish() []Violation {
+	if c.done {
+		return nil
+	}
+	c.done = true
+	var out []Violation
+	for _, ps := range c.ports {
+		if ps.exempt || c.voided {
+			continue
+		}
+		out = append(out, ps.pending...)
+		if ps.pendingDropped > 0 {
+			out = append(out, Violation{Invariant: "queue-bound", Scope: ps.name,
+				Detail: fmt.Sprintf("%d further queue/delay violations suppressed", ps.pendingDropped)})
+		}
+	}
+	for _, v := range out {
+		c.opt.report(v)
+	}
+	c.net, c.flows, c.ports = nil, nil, nil
+	return out
+}
+
+// ---- credit conservation ----
+
+func (c *Checker) flowState(id int64) *flowState {
+	fs := c.flows[id]
+	if fs == nil {
+		fs = &flowState{outstanding: make(map[int64]struct{})}
+		c.flows[id] = fs
+	}
+	return fs
+}
+
+func (c *Checker) onCreditRecv(ev obs.Event) {
+	if c.opt.NoCreditConservation {
+		return
+	}
+	fs := c.flowState(ev.Flow)
+	if _, dup := fs.outstanding[ev.Seq]; dup {
+		c.opt.report(Violation{Time: ev.T, Invariant: "credit-conservation",
+			Scope: ev.Scope, Flow: ev.Flow,
+			Detail: fmt.Sprintf("credit %d delivered twice", ev.Seq)})
+		return
+	}
+	fs.outstanding[ev.Seq] = struct{}{}
+}
+
+func (c *Checker) onDataSend(ev obs.Event) {
+	if c.opt.NoCreditConservation {
+		return
+	}
+	fs := c.flowState(ev.Flow)
+	if _, ok := fs.outstanding[ev.Seq]; !ok {
+		c.opt.report(Violation{Time: ev.T, Invariant: "credit-conservation",
+			Scope: ev.Scope, Flow: ev.Flow,
+			Detail: fmt.Sprintf("data packet spends credit %d which is not outstanding (uncredited send or double-spend)", ev.Seq)})
+		return
+	}
+	delete(fs.outstanding, ev.Seq)
+	if ev.Bytes > unit.MTUPayload {
+		c.opt.report(Violation{Time: ev.T, Invariant: "credit-conservation",
+			Scope: ev.Scope, Flow: ev.Flow,
+			Detail: fmt.Sprintf("payload %v exceeds the one-MTU authorization of a credit (%v)", ev.Bytes, unit.Bytes(unit.MTUPayload))})
+	}
+}
+
+func (c *Checker) onCreditWaste(ev obs.Event) {
+	if c.opt.NoCreditConservation {
+		return
+	}
+	// A wasted credit was received but authorizes no data: retire it so
+	// it can never be spent later.
+	delete(c.flowState(ev.Flow).outstanding, ev.Seq)
+}
+
+// Outstanding returns the number of credits received but not yet spent
+// by flow — in-flight authorizations. Test helper.
+func (c *Checker) Outstanding(flow int64) int {
+	if c.flows == nil {
+		return 0
+	}
+	if fs := c.flows[flow]; fs != nil {
+		return len(fs.outstanding)
+	}
+	return 0
+}
+
+// ---- per-port state ----
+
+// portState resolves (lazily creating) the tracker for the port named
+// scope, or nil if no such port exists in this network.
+func (c *Checker) portState(scope string) *portState {
+	if ps, ok := c.ports[scope]; ok {
+		return ps
+	}
+	var port *netem.Port
+	for _, p := range c.net.AllPorts() {
+		if p.Name() == scope {
+			port = p
+			break
+		}
+	}
+	if port == nil {
+		return nil
+	}
+	cfg := port.Config()
+	ps := &portState{
+		name:    scope,
+		metered: cfg.CreditQueueCap > 0 || len(cfg.CreditClasses) > 0,
+		rate:    cfg.Rate,
+		tol:     float64(c.opt.BurstTolerance),
+		noDelay: cfg.PFC != nil,
+	}
+	ps.tokens = ps.tol
+	ps.rate = cfg.Rate.Scale(cfg.CreditRatio)
+	ps.bound = float64(c.queueBound(cfg))
+	ps.delayCap = c.delayCap(cfg)
+	c.ports[scope] = ps
+	return ps
+}
+
+// queueBound derives the §3.1 occupancy cap for a port: the credit
+// buffer carving bounds how many credits — and therefore how many MTUs
+// of returning data — can be outstanding against this queue. Credits
+// for data crossing this port may sit queued at EVERY credit-class
+// queue along the multi-hop reverse path, and their delayed release
+// clusters the data arrivals. The longest reverse path in the
+// supported fabrics is six credit-class queues deep (fat tree:
+// host NIC + ToR + agg + core + agg + ToR); add headroom for
+// host-delay spread and credits in flight on the wire. Empirically the
+// evaluation experiments peak at ~27 MaxFrames under stable routing
+// (fat-tree aggregation ports under spraying); this bound allows
+// 6·cap+8 = 56 at the default carving — far below the 250-frame buffer
+// a congestion-collapsed queue would fill. Mid-run route rebuilds
+// (EvRouteBuild) void the check entirely rather than stretching it.
+func (c *Checker) queueBound(cfg netem.PortConfig) unit.Bytes {
+	if c.opt.QueueBound > 0 {
+		return c.opt.QueueBound
+	}
+	cap := cfg.CreditQueueCap
+	if cap <= 0 {
+		cap = 8
+	}
+	return unit.Bytes(6*cap+8) * unit.MaxFrame
+}
+
+// delayCap derives the queuing-delay cap: the time to drain a full
+// bound's worth of bytes (plus one in-service frame) at the port's data
+// share of line rate, doubled for credit-preemption and scheduling
+// slack. If the occupancy bound holds, FIFO service implies this cap.
+func (c *Checker) delayCap(cfg netem.PortConfig) sim.Duration {
+	if c.opt.DelayCap > 0 {
+		return c.opt.DelayCap
+	}
+	ratio := cfg.CreditRatio
+	if ratio <= 0 || ratio >= 1 {
+		ratio = unit.CreditRatio
+	}
+	bound := c.queueBound(cfg)
+	return 2 * unit.TxTime(bound+unit.MaxFrame, cfg.Rate.Scale(1-ratio))
+}
+
+func (ps *portState) exemptNow() {
+	ps.exempt = true
+	ps.fifo, ps.fifoHead = nil, 0
+	ps.pending, ps.pendingDropped = nil, 0
+}
+
+func (ps *portState) hold(v Violation) {
+	if len(ps.pending) >= pendingCap {
+		ps.pendingDropped++
+		return
+	}
+	ps.pending = append(ps.pending, v)
+}
+
+// ---- token-bucket conformance ----
+
+func (c *Checker) onCreditTx(ev obs.Event) {
+	if c.opt.NoTokenBucket {
+		return
+	}
+	ps := c.portState(ev.Scope)
+	if ps == nil || !ps.metered {
+		return
+	}
+	// Same refill arithmetic as netem's tokenBucket, charged the nominal
+	// MinFrame the scheduler charges (size randomization must not shave
+	// the credited data rate).
+	if ev.T > ps.last {
+		ps.tokens += float64(ev.T-ps.last) * float64(ps.rate) / 8 / float64(sim.Second)
+		if ps.tokens > ps.tol {
+			ps.tokens = ps.tol
+		}
+		ps.last = ev.T
+	}
+	ps.tokens -= float64(unit.MinFrame)
+	if ps.tokens < -shadowEps {
+		c.opt.report(Violation{Time: ev.T, Invariant: "token-bucket",
+			Scope: ev.Scope, Flow: ev.Flow,
+			Detail: fmt.Sprintf("credit throughput exceeds configured ratio: shadow meter overdrawn by %.1f bytes (rate %v, tolerance %v)",
+				-ps.tokens, ps.rate, unit.Bytes(ps.tol))})
+		ps.tokens = 0 // re-arm so a persistent overrun reports per excess credit, not cumulatively
+	}
+}
+
+// ---- queue / delay bound ----
+
+func (c *Checker) onDataEnq(ev obs.Event) {
+	if c.opt.NoQueueBound && c.opt.NoDelayBound {
+		return
+	}
+	ps := c.portState(ev.Scope)
+	if ps == nil || ps.exempt {
+		return
+	}
+	kind := packet.Kind(ev.Aux2)
+	// Uncredited data, acks, or credits riding the data queue mean this
+	// port serves a non-ExpressPass transport (or a credit-class-less
+	// configuration): the §3.1 bound does not apply to it.
+	if (kind == packet.Data && ev.Aux == 0) || kind == packet.Ack || kind == packet.Credit {
+		ps.exemptNow()
+		return
+	}
+	if !c.opt.NoQueueBound && ev.Val > ps.bound {
+		ps.hold(Violation{Time: ev.T, Invariant: "queue-bound",
+			Scope: ev.Scope, Flow: ev.Flow,
+			Detail: fmt.Sprintf("data queue %v exceeds derived §3.1 bound %v",
+				unit.Bytes(ev.Val), unit.Bytes(ps.bound))})
+	}
+	if !c.opt.NoDelayBound {
+		ps.fifo = append(ps.fifo, ev.T)
+	}
+}
+
+func (c *Checker) onDataDeq(ev obs.Event) {
+	ps := c.portState(ev.Scope)
+	if ps == nil || ps.exempt || c.opt.NoDelayBound {
+		return
+	}
+	if ps.fifoHead >= len(ps.fifo) {
+		return // tracking started mid-queue or was reset by a fault flush
+	}
+	enq := ps.fifo[ps.fifoHead]
+	ps.fifoHead++
+	if ps.fifoHead > 64 && ps.fifoHead*2 >= len(ps.fifo) {
+		n := copy(ps.fifo, ps.fifo[ps.fifoHead:])
+		ps.fifo = ps.fifo[:n]
+		ps.fifoHead = 0
+	}
+	if ps.noDelay {
+		return
+	}
+	if d := ev.T - enq; d > ps.delayCap {
+		ps.hold(Violation{Time: ev.T, Invariant: "delay-bound",
+			Scope: ev.Scope, Flow: ev.Flow,
+			Detail: fmt.Sprintf("per-packet queuing delay %v exceeds derived cap %v", d, ps.delayCap)})
+	}
+}
+
+func (c *Checker) onDataDrop(ev obs.Event) {
+	if c.opt.NoQueueBound {
+		return
+	}
+	ps := c.portState(ev.Scope)
+	if ps == nil || ps.exempt {
+		return
+	}
+	// A drop-tail loss on a credited-only port means occupancy reached
+	// the full buffer — far past the §3.1 bound.
+	ps.hold(Violation{Time: ev.T, Invariant: "queue-bound",
+		Scope: ev.Scope, Flow: ev.Flow,
+		Detail: fmt.Sprintf("data-class drop on a credited port (queue at %v)", unit.Bytes(ev.Val))})
+}
+
+// ---- fault interactions ----
+
+// onFaultDrop clears a port's delay FIFO: a hard link-down flushes the
+// queue without Deq events, so enqueue timestamps no longer pair.
+func (c *Checker) onFaultDrop(ev obs.Event) {
+	if ps, ok := c.ports[ev.Scope]; ok {
+		ps.fifo, ps.fifoHead = nil, 0
+	}
+}
+
+// onFaultStart reacts to a host-stall fault: a credit-processing stall
+// releases the accumulated credits' data in one line-rate burst,
+// deliberately violating the bounded-Δd_host premise the §3.1 bound is
+// derived from — and the burst propagates to every downstream queue,
+// not just the stalled NIC. Queue/delay findings for the whole run are
+// therefore void (Finish discards them); conservation and token-bucket
+// checks stay armed, since a stall must not mint or over-admit credits.
+// (EvRouteBuild voids the run the same way: credits granted under the
+// old routing release data onto paths whose credit limiters never
+// admitted them.)
+func (c *Checker) onFaultStart(ev obs.Event) {
+	const pre = "stall:"
+	if len(ev.Scope) <= len(pre) || ev.Scope[:len(pre)] != pre {
+		return
+	}
+	c.voided = true
+	name := ev.Scope[len(pre):]
+	for _, h := range c.net.Hosts() {
+		if h.Name() == name {
+			if ps := c.portState(h.NIC().Name()); ps != nil {
+				ps.exemptNow()
+			}
+			return
+		}
+	}
+}
+
+// ---- process-wide arming ----
+
+var (
+	armMu  sync.Mutex
+	armed  []*Checker
+	arming bool
+)
+
+// Arm installs a network-creation hook so every subsequently built
+// network gets a Checker attached with opt. The experiment determinism
+// gate and xpsim -invariants use this; call FinishArmed afterwards to
+// flush positional findings and release the checked networks.
+func Arm(opt Options) {
+	armMu.Lock()
+	arming = true
+	armMu.Unlock()
+	netem.SetNetworkHook(func(n *netem.Network) {
+		c := Attach(n, opt)
+		armMu.Lock()
+		if arming {
+			armed = append(armed, c)
+		}
+		armMu.Unlock()
+	})
+}
+
+// Disarm removes the network-creation hook. Checkers already attached
+// keep running until FinishArmed.
+func Disarm() {
+	netem.SetNetworkHook(nil)
+	armMu.Lock()
+	arming = false
+	armMu.Unlock()
+}
+
+// FinishArmed finishes every checker created since Arm (or the previous
+// FinishArmed), returning the violations they flushed. Call it only
+// when no armed simulation is still running.
+func FinishArmed() []Violation {
+	armMu.Lock()
+	cs := armed
+	armed = nil
+	armMu.Unlock()
+	var out []Violation
+	for _, c := range cs {
+		out = append(out, c.Finish()...)
+	}
+	return out
+}

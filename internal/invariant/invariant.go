@@ -1,0 +1,189 @@
+// Package invariant turns the paper's core guarantees into machine-
+// checked runtime properties. A Checker taps a network's trace stream
+// (the same obs events the instrumentation layer emits) and validates,
+// as the simulation runs:
+//
+//   - credit conservation (§3.1): every ExpressPass data packet spends
+//     exactly one outstanding credit at its sender — no data without a
+//     credit, no double-spend, no packet larger than the MTU a credit
+//     authorizes;
+//   - token-bucket conformance (§3.1 maximum-bandwidth metering): the
+//     credit throughput of every port with a credit class never exceeds
+//     its configured credit ratio over any window, up to a spec-derived
+//     burst tolerance — independently re-metered by a shadow bucket, so
+//     a broken or over-provisioned limiter is caught even though the
+//     port's own bucket would happily admit the excess;
+//   - queue/delay bound (§3.1 "delay-bounded"): data-queue occupancy on
+//     ports carrying only credited traffic stays under the bound implied
+//     by credit buffer carving, and per-packet queuing delay stays under
+//     the derived cap;
+//   - packet/pool conservation (the poolbalance property): at drain,
+//     every allocated packet has been delivered, dropped, or recycled —
+//     checked via CheckDrained once the engine is empty.
+//
+// The checker follows the PR 1 zero-overhead contract: nothing in the
+// hot paths knows it exists. Attach wraps a network's tracer with a tee
+// — events are checked, then forwarded to whatever tracer (if any) was
+// installed before — so byte-identical trace output is preserved and
+// disabled checking costs exactly the one nil check the tracer already
+// pays. Arm installs a netem network hook so every subsequently created
+// network is checked, which is how the experiment determinism gate and
+// the xpsim -invariants flag arm the whole process.
+package invariant
+
+import (
+	"fmt"
+	"sync"
+
+	"expresspass/internal/netem"
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/unit"
+)
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	Time      sim.Time
+	Invariant string // "credit-conservation", "token-bucket", "queue-bound", "delay-bound", "pool-conservation"
+	Scope     string // emitting component (port or host name)
+	Flow      int64  // offending flow, 0 when not flow-specific
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%v [%s] %s flow=%d: %s",
+		v.Time, v.Invariant, v.Scope, v.Flow, v.Detail)
+}
+
+// Options configures a Checker. The zero value enables every check with
+// spec-derived defaults.
+type Options struct {
+	// BurstTolerance is the byte allowance of the shadow credit meter:
+	// how far a port's credit transmissions may run ahead of
+	// ratio × rate × elapsed. The default is the §3.1 bucket size (two
+	// maximum-size credits). Deliberately NOT the port's configured
+	// burst: the checker validates the spec bound, so a port whose
+	// limiter was misconfigured with a huge burst is caught.
+	BurstTolerance unit.Bytes
+
+	// QueueBound caps data-queue occupancy (bytes) on ports that carry
+	// only credited traffic. Zero derives a per-port default from the
+	// credit buffer carving (see queueBound).
+	QueueBound unit.Bytes
+
+	// DelayCap caps per-packet queuing delay on those same ports. Zero
+	// derives the time to drain QueueBound at the port's data share.
+	DelayCap sim.Duration
+
+	// Disable flags for individual checkers (all enabled by default).
+	NoCreditConservation bool
+	NoTokenBucket        bool
+	NoQueueBound         bool
+	NoDelayBound         bool
+
+	// OnViolation, when set, receives each violation instead of the
+	// process-wide registry.
+	OnViolation func(Violation)
+
+	// Panic makes immediate checks (conservation, token bucket) panic at
+	// the offending event — the stack then points at the exact emission
+	// site, which is what you want when replaying a fuzz seed. Queue and
+	// delay findings are positional (a port may later prove to carry
+	// uncredited traffic and be exempted) and are reported at Finish.
+	Panic bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.BurstTolerance == 0 {
+		o.BurstTolerance = DefaultBurstTolerance
+	}
+	return o
+}
+
+// DefaultBurstTolerance is the spec token-bucket size: two maximum-size
+// (92 B) credit packets, matching netem's default credit burst.
+const DefaultBurstTolerance = 2 * (unit.MinFrame + 8)
+
+// ---- process-wide violation registry ----
+
+const registryCap = 1024 // retain at most this many; Count keeps the true total
+
+var (
+	regMu    sync.Mutex
+	regViols []Violation
+	regCount uint64
+)
+
+func (o *Options) report(v Violation) {
+	if o.OnViolation != nil {
+		o.OnViolation(v)
+		return
+	}
+	if o.Panic {
+		panic("invariant: " + v.String())
+	}
+	record(v)
+}
+
+func record(v Violation) {
+	regMu.Lock()
+	regCount++
+	if len(regViols) < registryCap {
+		regViols = append(regViols, v)
+	}
+	regMu.Unlock()
+}
+
+// Violations returns a snapshot of the retained violations (at most
+// registryCap; Count reports the true total).
+func Violations() []Violation {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]Violation(nil), regViols...)
+}
+
+// Count returns the total number of violations recorded, including any
+// beyond the retention cap.
+func Count() uint64 {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return regCount
+}
+
+// Reset clears the process-wide registry.
+func Reset() {
+	regMu.Lock()
+	regViols, regCount = nil, 0
+	regMu.Unlock()
+}
+
+// CheckDrained validates packet/pool conservation after a simulation has
+// drained: every port queue must be empty and the packet pool must be
+// back at its pre-run baseline (allocated == delivered + dropped, i.e.
+// nothing leaked and nothing double-freed). baseline is packet.Live()
+// sampled before the run built its first packet. The check is only
+// meaningful on a serial run — the pool counters are process-global, so
+// concurrent trials would see each other's packets.
+func CheckDrained(net *netem.Network, baseline int64) []Violation {
+	var out []Violation
+	now := net.Eng.Now()
+	for _, p := range net.AllPorts() {
+		if n := p.DataQueueBytes(); n != 0 {
+			out = append(out, Violation{Time: now, Invariant: "pool-conservation",
+				Scope: p.Name(), Detail: fmt.Sprintf("data queue holds %v after drain", n)})
+		}
+		if n := p.CreditQueueLen(); n != 0 {
+			out = append(out, Violation{Time: now, Invariant: "pool-conservation",
+				Scope: p.Name(), Detail: fmt.Sprintf("credit queue holds %d packets after drain", n)})
+		}
+	}
+	if live := packet.Live(); live != baseline {
+		out = append(out, Violation{Time: now, Invariant: "pool-conservation",
+			Detail: fmt.Sprintf("packet pool live count %d != baseline %d at drain (leak or double-free)",
+				live, baseline)})
+	}
+	for _, v := range out {
+		record(v)
+	}
+	return out
+}

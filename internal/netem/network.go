@@ -2,12 +2,32 @@ package netem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"expresspass/internal/obs"
 	"expresspass/internal/packet"
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
 )
+
+// networkHook, when installed, runs on every newly created Network. It
+// is how layers above netem (internal/invariant) attach themselves to
+// each network without netem importing them: the hook holder is atomic
+// so arming/disarming is safe even while parallel sweep trials are
+// constructing networks on worker goroutines.
+var networkHook atomic.Pointer[func(*Network)]
+
+// SetNetworkHook installs fn to run at the end of every subsequent
+// NewNetwork call (after observability wiring, before any nodes exist).
+// Pass nil to remove the hook. Only one hook is held; callers that need
+// several must compose them.
+func SetNetworkHook(fn func(*Network)) {
+	if fn == nil {
+		networkHook.Store(nil)
+		return
+	}
+	networkHook.Store(&fn)
+}
 
 // DefaultHostQueue is the NIC egress data budget. It is generous so host
 // egress never drops locally-sourced data; contention is at switches.
@@ -44,6 +64,9 @@ func NewNetwork(eng *sim.Engine) *Network {
 		// runner sweep trial, so concurrent trials never share the
 		// runtime's tracer sink or metrics writer.
 		n.initObs(rt.ScopeFor(eng))
+	}
+	if fn := networkHook.Load(); fn != nil {
+		(*fn)(n)
 	}
 	return n
 }
@@ -209,6 +232,13 @@ func (n *Network) SetLinkDown(p *Port, down bool) {
 // contain every neighbor on some shortest path; SetRoutes sorts them by
 // neighbor ID for deterministic (and therefore symmetric) ECMP.
 func (n *Network) BuildRoutes() {
+	// A rebuild after traffic has started (failover, repair, flap
+	// clearing) strands in-flight credits on paths their data will no
+	// longer take; announce it so the invariant checker can void its
+	// routing-dependent bounds for this run.
+	if n.tracer != nil && n.Eng.Now() > 0 {
+		n.tracer.Emit(obs.Event{T: n.Eng.Now(), Type: obs.EvRouteBuild, Scope: "net"})
+	}
 	adj := make([][]*Port, len(n.nodes)) // adj[node] = egress ports
 	for _, nd := range n.nodes {
 		adj[nd.ID()] = nd.Ports()

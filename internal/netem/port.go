@@ -353,7 +353,8 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	} else if tr := p.trace; tr != nil {
 		qb := float64(p.data.curBytes())
 		tr.Emit(obs.Event{T: now, Type: obs.EvDataEnq, Scope: p.name,
-			Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire, Val: qb})
+			Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire, Val: qb,
+			Aux: float64(pkt.CreditSeq), Aux2: float64(pkt.Kind)})
 		tr.Emit(obs.Event{T: now, Type: obs.EvQueueDepth, Scope: p.name,
 			Val: qb, Aux: float64(p.data.len())})
 	}
@@ -451,6 +452,8 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	}
 	if tr := p.trace; tr != nil {
 		if pkt.Kind == packet.Credit {
+			tr.Emit(obs.Event{T: p.eng.Now(), Type: obs.EvCreditTx, Scope: p.name,
+				Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire})
 			tr.Emit(obs.Event{T: p.eng.Now(), Type: obs.EvCreditQDepth,
 				Scope: p.name, Val: float64(p.CreditQueueLen())})
 		} else {

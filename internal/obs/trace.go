@@ -46,8 +46,11 @@ const (
 	// arriving credit (the displaced victim under random-victim
 	// replacement is not identified). Val = credit queue length after.
 	EvCreditDrop
-	// EvDataEnq: a data packet entered a port's data queue.
-	// Val = data queue bytes after the enqueue.
+	// EvDataEnq: a packet entered a port's data queue.
+	// Val = data queue bytes after the enqueue, Aux = the packet's credit
+	// sequence (0 for uncredited traffic), Aux2 = the packet.Kind numeric
+	// (0 data, 2 ack, 3 ctrl). Aux/Aux2 let the queue-bound invariant
+	// checker tell credited ExpressPass traffic from baseline transports.
 	EvDataEnq
 	// EvDataDeq: a data packet left a port's data queue for the wire.
 	// Val = data queue bytes after the dequeue.
@@ -79,6 +82,25 @@ const (
 	// port's queues, or hit by seeded loss. Scope is the port name;
 	// Flow/Seq/Bytes identify the victim.
 	EvFaultDrop
+	// EvDataSend: an ExpressPass sender emitted one data packet against a
+	// received credit. Scope is the sender host name; Seq is the consumed
+	// credit sequence, Bytes the payload. Paired with EvCreditRecv, this
+	// is the spend side of the credit-conservation ledger checked by
+	// internal/invariant.
+	EvDataSend
+	// EvCreditTx: a port's transmitter put a credit on the wire after the
+	// token bucket admitted it. Scope is the port name; Flow/Seq identify
+	// the credit and Bytes its randomized wire size. The token-bucket
+	// conformance checker meters these against the configured credit
+	// ratio (§3.1 maximum-bandwidth metering).
+	EvCreditTx
+	// EvRouteBuild: the network recomputed its routing tables while the
+	// simulation clock was already running (failover, repair, link-state
+	// flap). Credits granted under the old routing release data onto the
+	// new paths, so §3.1's per-port bounds — derived for stable symmetric
+	// routing — do not constrain the transient; the invariant checker
+	// voids its positional findings when it sees one.
+	EvRouteBuild
 
 	numEventTypes
 )
@@ -99,6 +121,9 @@ var eventNames = [numEventTypes]string{
 	EvFaultStart:   "fault_start",
 	EvFaultEnd:     "fault_end",
 	EvFaultDrop:    "fault_drop",
+	EvDataSend:     "data_send",
+	EvCreditTx:     "credit_tx",
+	EvRouteBuild:   "route_build",
 }
 
 func (t EventType) String() string {

@@ -22,7 +22,7 @@ func fixedEvents() []Event {
 		{T: 2 * sim.Microsecond, Type: EvCreditRecv, Scope: "h0", Flow: 3, Seq: 1, Bytes: 84},
 		{T: 2500 * sim.Nanosecond, Type: EvCreditWaste, Scope: "h0", Flow: 3, Seq: 2, Bytes: 84},
 		{T: 3 * sim.Microsecond, Type: EvCreditDrop, Scope: "tor->h1", Flow: 3, Seq: 7, Bytes: 92, Val: 8},
-		{T: 4 * sim.Microsecond, Type: EvDataEnq, Scope: "h0->tor", Flow: 3, Seq: 1538, Bytes: 1538, Val: 3076},
+		{T: 4 * sim.Microsecond, Type: EvDataEnq, Scope: "h0->tor", Flow: 3, Seq: 1538, Bytes: 1538, Val: 3076, Aux: 1, Aux2: 0},
 		{T: 5 * sim.Microsecond, Type: EvDataDeq, Scope: "h0->tor", Flow: 3, Seq: 1538, Bytes: 1538, Val: 1538},
 		{T: 6 * sim.Microsecond, Type: EvDataDrop, Scope: "tor->h1", Flow: 4, Seq: 0, Bytes: 1538, Val: 384500},
 		{T: 7 * sim.Microsecond, Type: EvQueueDepth, Scope: "tor->h1", Val: 3076, Aux: 2},
@@ -33,6 +33,9 @@ func fixedEvents() []Event {
 		{T: 12 * sim.Microsecond, Type: EvFaultStart, Scope: "flap:swL->swR", Val: 2},
 		{T: 13 * sim.Microsecond, Type: EvFaultDrop, Scope: "swL->swR", Flow: 3, Seq: 9, Bytes: 1538},
 		{T: 14 * sim.Microsecond, Type: EvFaultEnd, Scope: "flap:swL->swR", Val: 2},
+		{T: 15 * sim.Microsecond, Type: EvDataSend, Scope: "h0", Flow: 3, Seq: 42, Bytes: 1460},
+		{T: 16 * sim.Microsecond, Type: EvCreditTx, Scope: "tor->h0", Flow: 3, Seq: 42, Bytes: 87},
+		{T: 17 * sim.Microsecond, Type: EvRouteBuild, Scope: "net"},
 	}
 }
 

@@ -1,0 +1,198 @@
+// Package scenario is the deterministic fuzz harness: from one seed it
+// generates a random topology, a random flow mix drawn from the paper's
+// workload distributions, and (sometimes) a fault plan, then runs the
+// whole thing to drain with every runtime invariant armed. Any failure
+// replays exactly from the printed seed — the generator draws from its
+// own splitmix-derived stream and the simulation from the engine's, so
+// a seed fully determines the run.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"expresspass/internal/core"
+	"expresspass/internal/faults"
+	"expresspass/internal/invariant"
+	"expresspass/internal/netem"
+	"expresspass/internal/packet"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+	"expresspass/internal/workload"
+)
+
+// Options tunes generation. The zero value is the fuzz-smoke default.
+type Options struct {
+	// MaxFlowSize caps sampled flow sizes so a heavy-tail draw cannot
+	// turn one seed into a minutes-long run. Default 1 MB.
+	MaxFlowSize unit.Bytes
+
+	// NoFaults disables fault injection regardless of what the seed
+	// would roll (used when a run must leave every flow finished).
+	NoFaults bool
+
+	// Invariant overrides the checker options. OnViolation is always
+	// replaced: Run collects violations into the Report.
+	Invariant invariant.Options
+}
+
+// Report summarizes one generated run.
+type Report struct {
+	Seed       uint64
+	Topology   string
+	Hosts      int
+	Dist       string // flow-size distribution name
+	Load       float64
+	Flows      int
+	Finished   int
+	Faults     []string // human-readable fault plan, empty if none
+	EndTime    sim.Time
+	Violations []invariant.Violation
+}
+
+func (r Report) String() string {
+	f := "none"
+	if len(r.Faults) > 0 {
+		f = strings.Join(r.Faults, ", ")
+	}
+	return fmt.Sprintf(
+		"seed=%d topo=%s hosts=%d dist=%s load=%.2f flows=%d finished=%d faults=[%s] end=%v violations=%d",
+		r.Seed, r.Topology, r.Hosts, r.Dist, r.Load, r.Flows, r.Finished,
+		f, r.EndTime, len(r.Violations))
+}
+
+// Run generates and executes the scenario for seed, returning its
+// report. The run is serial (it uses the process-global packet pool for
+// the conservation check) and fully deterministic in seed and opt.
+func Run(seed uint64, opt Options) Report {
+	if opt.MaxFlowSize == 0 {
+		opt.MaxFlowSize = 1 * unit.MB
+	}
+	baseline := packet.Live()
+	eng := sim.New(seed)
+	// The generator gets its own stream so scenario shape and simulation
+	// randomness never alias: the engine stream stays exactly what any
+	// non-fuzz run with this seed would see.
+	gen := sim.NewRand(seed ^ 0x5ca1ab1e5eed)
+
+	rep := Report{Seed: seed}
+	net := buildTopology(eng, gen, &rep)
+
+	iopt := opt.Invariant
+	iopt.OnViolation = func(v invariant.Violation) {
+		rep.Violations = append(rep.Violations, v)
+	}
+	checker := invariant.Attach(net, iopt)
+
+	flows := buildFlows(net, gen, opt, &rep)
+	if !opt.NoFaults && gen.Intn(2) == 0 {
+		buildFaults(net, gen, &rep)
+	}
+
+	eng.Run()
+	rep.EndTime = eng.Now()
+	for _, f := range flows {
+		if f.Finished {
+			rep.Finished++
+		}
+	}
+	checker.Finish()
+	rep.Violations = append(rep.Violations, invariant.CheckDrained(net, baseline)...)
+	return rep
+}
+
+// buildTopology picks one of six shapes and sizes it from the stream.
+func buildTopology(eng *sim.Engine, gen *sim.Rand, rep *Report) *netem.Network {
+	cfg := topology.Config{}
+	var net *netem.Network
+	switch gen.Intn(6) {
+	case 0:
+		n := 4 + gen.Intn(9)
+		rep.Topology = fmt.Sprintf("star/%d", n)
+		net = topology.NewStar(eng, n, cfg).Net
+	case 1:
+		n := 2 + gen.Intn(7)
+		rep.Topology = fmt.Sprintf("dumbbell/%d", n)
+		net = topology.NewDumbbell(eng, n, cfg).Net
+	case 2:
+		n := 2 + gen.Intn(3)
+		rep.Topology = fmt.Sprintf("parkinglot/%d", n)
+		net = topology.NewParkingLot(eng, n, cfg).Net
+	case 3:
+		n := 2 + gen.Intn(5)
+		rep.Topology = fmt.Sprintf("multibottleneck/%d", n)
+		net = topology.NewMultiBottleneck(eng, n, cfg).Net
+	case 4:
+		rep.Topology = "fattree/4"
+		net = topology.NewFatTree(eng, 4, cfg).Net
+	default:
+		p := topology.OversubParams{Cores: 1, Aggs: 2, ToRs: 4,
+			HostsPerToR: 2, UplinksPerToR: 2}
+		rep.Topology = "oversub/8"
+		net = topology.NewOversubTree(eng, p, cfg).Net
+	}
+	rep.Hosts = len(net.Hosts())
+	return net
+}
+
+// buildFlows draws 10–40 Poisson arrivals from a random Table 2 size
+// distribution and dials an ExpressPass session for each.
+func buildFlows(net *netem.Network, gen *sim.Rand, opt Options, rep *Report) []*transport.Flow {
+	dists := workload.AllDists()
+	dist := dists[gen.Intn(len(dists))]
+	rep.Dist = dist.Name
+	rep.Load = 0.3 + 0.5*gen.Float64()
+	rep.Flows = 10 + gen.Intn(31)
+	hosts := net.Hosts()
+	specs := workload.Poisson(gen, workload.PoissonConfig{
+		Hosts:   len(hosts),
+		Dist:    dist,
+		Load:    rep.Load,
+		RefRate: 10 * unit.Gbps,
+		Flows:   rep.Flows,
+	})
+	flows := make([]*transport.Flow, 0, len(specs))
+	for _, s := range specs {
+		size := s.Size
+		if size > opt.MaxFlowSize {
+			size = opt.MaxFlowSize
+		}
+		f := transport.NewFlow(net, hosts[s.Src], hosts[s.Dst], size, s.Start)
+		core.Dial(f, core.Config{})
+		flows = append(flows, f)
+	}
+	return flows
+}
+
+// buildFaults injects one or two faults inside the expected busy window.
+func buildFaults(net *netem.Network, gen *sim.Rand, rep *Report) {
+	inj := faults.NewInjector(net)
+	ports := net.AllPorts()
+	hosts := net.Hosts()
+	n := 1 + gen.Intn(2)
+	for i := 0; i < n; i++ {
+		at := sim.Time(gen.Range(200*sim.Microsecond, sim.Millisecond))
+		dur := gen.Range(50*sim.Microsecond, 500*sim.Microsecond)
+		switch gen.Intn(3) {
+		case 0:
+			p := ports[gen.Intn(len(ports))]
+			inj.FlapLink(p, at, dur)
+			rep.Faults = append(rep.Faults,
+				fmt.Sprintf("flap %s @%v for %v", p.Name(), at, dur))
+		case 1:
+			p := ports[gen.Intn(len(ports))]
+			cr := 0.3 * gen.Float64()
+			dr := 0.3 * gen.Float64()
+			inj.Loss(p, cr, dr, at, dur)
+			rep.Faults = append(rep.Faults,
+				fmt.Sprintf("loss %s c=%.2f d=%.2f @%v for %v", p.Name(), cr, dr, at, dur))
+		case 2:
+			h := hosts[gen.Intn(len(hosts))]
+			inj.StallHost(h, at, dur)
+			rep.Faults = append(rep.Faults,
+				fmt.Sprintf("stall %s @%v for %v", h.Name(), at, dur))
+		}
+	}
+}
