@@ -87,10 +87,10 @@ func (t *T) Engine(seed uint64) *sim.Engine {
 // read-only captures. A panicking trial is re-panicked — lowest index
 // first — on the calling goroutine after the pool drains.
 func Map[R any](n int, fn func(t *T, i int) R) []R {
-	out := make([]R, n)
 	if n <= 0 {
-		return out
+		return nil // before make: a negative n must not panic the sweep
 	}
+	out := make([]R, n)
 	rt := obs.Active()
 	if w := min(Procs(), n); w > 1 {
 		mapParallel(out, w, rt, fn)
