@@ -33,12 +33,14 @@ fuzz-smoke:
 ## cover: per-package statement coverage, with enforced floors on the
 ## baseline congestion-control packages (their conformance suites pin
 ## hand-computed algorithm steps, so coverage regressions there mean
-## untested control-law branches).
+## untested control-law branches) and on the observability layer
+## (obs/stats back every reported number; untested branches there are
+## silent data corruption).
 COVER_FLOOR ?= 80
 cover:
 	@go test -cover ./internal/... . | awk '{ print }' ; \
 	fail=0; \
-	for pkg in dctcp rcp dx hull cubic; do \
+	for pkg in dctcp rcp dx hull cubic obs stats; do \
 		pct=$$(go test -cover ./internal/$$pkg/ 2>/dev/null | awk '{ for (i=1; i<=NF; i++) if ($$i == "coverage:") { sub(/%.*/, "", $$(i+1)); print $$(i+1) } }'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage figure for internal/$$pkg"; fail=1; continue; fi; \
 		if [ $$(echo "$$pct" | cut -d. -f1) -lt $(COVER_FLOOR) ]; then \
@@ -76,8 +78,13 @@ bench-quick:
 ## path. BenchmarkHotPath drives a single credited flow across a 5-hop
 ## chain; after warm-up its event loop must stay allocation-free (the
 ## typed event API keeps every per-packet schedule on the engine free
-## list). Fails if allocs/op exceeds HOTPATH_ALLOC_BUDGET.
+## list). Fails if allocs/op exceeds HOTPATH_ALLOC_BUDGET. The second
+## half is the observability budget gate: a fully-traced fig18 sweep
+## must average at most OBS_BYTES_BUDGET trace bytes per event and
+## peak below OBS_RSS_BUDGET_MB of RSS (see TestObsBudgetGate).
 HOTPATH_ALLOC_BUDGET ?= 0
+OBS_BYTES_BUDGET ?= 160
+OBS_RSS_BUDGET_MB ?= 256
 bench-gate:
 	@out=$$(go test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 200x .) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
@@ -87,6 +94,10 @@ bench-gate:
 		echo "bench-gate: FAIL — $$allocs allocs/op exceeds budget $(HOTPATH_ALLOC_BUDGET)"; exit 1; \
 	fi; \
 	echo "bench-gate: OK ($$allocs allocs/op, budget $(HOTPATH_ALLOC_BUDGET))"
+	XPSIM_OBS_GATE=1 XPSIM_OBS_BYTES_BUDGET=$(OBS_BYTES_BUDGET) \
+		XPSIM_OBS_RSS_BUDGET_MB=$(OBS_RSS_BUDGET_MB) \
+		go test -run '^TestObsBudgetGate$$' -count=1 -v -timeout 30m .
+	@echo "bench-gate: obs budget OK"
 
 fmt:
 	gofmt -w $(GOFILES)

@@ -24,8 +24,18 @@
 //	                  anything else → JSONL)
 //	-trace-types LIST comma-separated event types to record (default all;
 //	                  e.g. credit_drop,qdepth,feedback)
+//	-trace-rotate SZ  rotate the trace into segments of at most SZ bytes
+//	                  (suffixes k/m/g accepted; segments split only at
+//	                  line boundaries, named FILE-00000.ext, …)
+//	-trace-gzip       gzip-compress the trace (per segment when rotating)
 //	-metrics FILE     long-format metrics CSV (t_us,scope,metric,value)
 //	-metrics-interval sampling period in simulated time (default 1ms)
+//	-progress         per-trial heartbeat lines on stderr plus an
+//	                  end-of-run resource summary (peak RSS, events/sec,
+//	                  GC pauses)
+//	-sketch           collect FCT/gap distributions in streaming quantile
+//	                  sketches (O(1) memory, ≤0.5% percentile error)
+//	                  instead of retaining every sample
 //	-cpuprofile FILE  Go CPU profile of the run
 //	-memprofile FILE  heap profile written at exit
 //	-pprof ADDR       serve net/http/pprof (e.g. localhost:6060)
@@ -34,6 +44,9 @@
 //
 //	-invariants       arm the runtime invariant checkers for the run;
 //	                  any violation prints and exits nonzero
+//	-flight FILE      with -invariants: dump the last -flight-events
+//	                  trace events leading up to the first violation
+//	-flight-events N  flight-recorder ring capacity (default 4096)
 //	-scenario-seed N  replay fuzz scenario N (seed ≥ 1) with all
 //	                  invariants armed, instead of running experiments
 package main
@@ -41,8 +54,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,8 +73,12 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	tracePath := flag.String("trace", "", "write event trace to file (.csv or JSONL)")
 	traceTypes := flag.String("trace-types", "", "comma-separated event types to trace (default all)")
+	traceRotate := flag.String("trace-rotate", "", "rotate trace segments at this size (e.g. 64m; 0/empty = no rotation)")
+	traceGzip := flag.Bool("trace-gzip", false, "gzip-compress the trace (per segment when rotating)")
 	metricsPath := flag.String("metrics", "", "write metrics time-series CSV to file")
 	metricsIval := flag.Duration("metrics-interval", time.Millisecond, "metrics sampling period (simulated time)")
+	progress := flag.Bool("progress", false, "heartbeat progress lines and a resource summary on stderr")
+	sketch := flag.Bool("sketch", false, "collect FCT/gap distributions in O(1)-memory quantile sketches")
 	cpuProfile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
@@ -69,6 +88,9 @@ func main() {
 		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
 	invariants := flag.Bool("invariants", false,
 		"arm the runtime invariant checkers; violations are printed and exit nonzero")
+	flightPath := flag.String("flight", "",
+		"with -invariants: dump the last -flight-events trace events to this file on the first violation")
+	flightEvents := flag.Int("flight-events", 4096, "flight-recorder ring capacity")
 	scenarioSeed := flag.Uint64("scenario-seed", 0,
 		"run the fuzz scenario for this seed (with invariants armed) instead of experiments")
 	flag.Parse()
@@ -124,7 +146,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
 		os.Exit(1)
 	}
-	rt, err := buildRuntime(*tracePath, *traceTypes, *metricsPath, *metricsIval)
+	rotateBytes, err := parseSize(*traceRotate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpsim: -trace-rotate: %v\n", err)
+		os.Exit(2)
+	}
+	rt, err := buildRuntime(*tracePath, *traceTypes, *metricsPath, *metricsIval,
+		rotateBytes, *traceGzip, *progress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
 		os.Exit(1)
@@ -133,14 +161,32 @@ func main() {
 		obs.SetActive(rt)
 	}
 
+	if *sketch {
+		expresspass.SetFCTSketchMode(true)
+	}
+
+	var flightFile *os.File
 	if *invariants {
-		expresspass.ArmInvariants(expresspass.InvariantOptions{})
+		opt := expresspass.InvariantOptions{}
+		if *flightPath != "" {
+			flightFile, err = os.Create(*flightPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+				os.Exit(1)
+			}
+			opt.FlightOut = flightFile
+			opt.FlightEvents = *flightEvents
+		}
+		expresspass.ArmInvariants(opt)
 	}
 
 	params := expresspass.ExperimentParams{Scale: *scale, Seed: *seed}
 	code := 0
 	for _, id := range ids {
 		start := time.Now()
+		if rt != nil {
+			rt.SetPhase(id)
+		}
 		if err := expresspass.RunExperiment(id, params, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
 			code = 1
@@ -165,12 +211,26 @@ func main() {
 		}
 	}
 
+	if flightFile != nil {
+		if err := flightFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+			code = 1
+		}
+	}
 	if rt != nil {
 		obs.SetActive(nil)
 		if tr := rt.Tracer(); tr != nil {
 			events, peak := rt.EngineTotals()
 			fmt.Fprintf(os.Stderr, "xpsim: traced %d events (%d sim events, peak heap %d)\n",
 				tr.Count(), events, peak)
+		}
+		if *progress {
+			res, rate := rt.Resources()
+			fmt.Fprintf(os.Stderr,
+				"xpsim: %s wall, %s sim events/s, peak RSS %s, heap %s, %d GCs (%s paused)\n",
+				rt.Elapsed().Round(time.Millisecond), humanSI(rate),
+				humanBytes(res.PeakRSSBytes), humanBytes(res.HeapAllocBytes),
+				res.NumGC, res.GCPauseTotal.Round(time.Microsecond))
 		}
 		if err := rt.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
@@ -184,24 +244,94 @@ func main() {
 	os.Exit(code)
 }
 
+// parseSize parses a byte size with an optional k/m/g suffix (case-
+// insensitive, power-of-two units). Empty or "0" means zero.
+func parseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return n * mult, nil
+}
+
+// humanBytes renders a byte count with a binary-unit suffix.
+func humanBytes(v uint64) string {
+	switch {
+	case v == 0:
+		return "unknown"
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(v)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", v)
+}
+
+// humanSI renders a rate with an SI suffix (k/M/G).
+func humanSI(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
 // buildRuntime assembles the obs.Runtime for the requested outputs, or
-// returns nil when neither tracing nor metrics were asked for.
-func buildRuntime(tracePath, traceTypes, metricsPath string, ival time.Duration) (*obs.Runtime, error) {
+// returns nil when no output was asked for. A bare -progress still gets
+// a Runtime so heartbeats and the resource summary have a home.
+func buildRuntime(tracePath, traceTypes, metricsPath string, ival time.Duration,
+	rotateBytes int64, gz, progress bool) (*obs.Runtime, error) {
 	var cfg obs.Config
 	if tracePath != "" {
-		f, err := os.Create(tracePath)
-		if err != nil {
-			return nil, err
+		isCSV := strings.HasSuffix(tracePath, ".csv")
+		var w io.Writer
+		if rotateBytes > 0 || gz {
+			rcfg := obs.RotateConfig{MaxBytes: rotateBytes, Gzip: gz}
+			if isCSV {
+				// Each rotated segment must stand alone, so the header is
+				// re-emitted at every segment start (the sink writes it to
+				// the first segment itself).
+				rcfg.Header = []byte(obs.CSVHeader)
+			}
+			rw, err := obs.NewRotatingWriter(tracePath, rcfg)
+			if err != nil {
+				return nil, err
+			}
+			w = rw
+		} else {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return nil, err
+			}
+			w = f
 		}
 		var sink obs.Sink
-		if strings.HasSuffix(tracePath, ".csv") {
-			sink = obs.NewCSVSink(f)
+		if isCSV {
+			sink = obs.NewCSVSink(w)
 		} else {
-			sink = obs.NewJSONLSink(f)
+			sink = obs.NewJSONLSink(w)
 		}
 		types, err := parseEventTypes(traceTypes)
 		if err != nil {
-			f.Close()
+			sink.Close()
 			return nil, err
 		}
 		cfg.Tracer = obs.NewTracer(sink, types...)
@@ -214,7 +344,10 @@ func buildRuntime(tracePath, traceTypes, metricsPath string, ival time.Duration)
 		cfg.MetricsOut = f
 		cfg.Interval = sim.FromStd(ival)
 	}
-	if cfg.Tracer == nil && cfg.MetricsOut == nil {
+	if progress {
+		cfg.Progress = os.Stderr
+	}
+	if cfg.Tracer == nil && cfg.MetricsOut == nil && cfg.Progress == nil {
 		return nil, nil
 	}
 	return obs.NewRuntime(cfg), nil

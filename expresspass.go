@@ -90,6 +90,12 @@ type (
 	// Series records named time series (throughput, queue depth) at a
 	// fixed sampling interval and renders CSV for plotting.
 	Series = stats.Series
+	// QuantileSketch is a mergeable streaming quantile sketch with
+	// bounded relative error — O(1) memory in sample count.
+	QuantileSketch = stats.Sketch
+	// Dist collects a sample distribution in exact or sketch mode (see
+	// SetFCTSketchMode) and answers Mean/Percentile/Summary/CDF.
+	Dist = stats.Dist
 
 	// Tracer records typed simulation events (credit drops, queue
 	// depth, feedback updates) to a sink; attach with Network.SetTracer
@@ -107,6 +113,12 @@ type (
 	ObsRuntime = obs.Runtime
 	// ObsConfig configures an ObsRuntime.
 	ObsConfig = obs.Config
+	// TraceRotateConfig configures a size-rotating (optionally gzipped)
+	// trace output file; see NewRotatingTraceWriter.
+	TraceRotateConfig = obs.RotateConfig
+	// ObsResources is a point-in-time process resource snapshot (peak
+	// RSS, heap, GC pauses) as reported by an ObsRuntime.
+	ObsResources = obs.Resources
 	// PortStats is a snapshot of one port's transmit/queue counters.
 	PortStats = netem.PortStats
 )
@@ -178,6 +190,35 @@ func NewTracer(sink obs.Sink, types ...TraceEventType) *Tracer {
 
 // NewJSONLTraceSink returns a sink encoding events as JSON lines to w.
 func NewJSONLTraceSink(w io.Writer) obs.Sink { return obs.NewJSONLSink(w) }
+
+// NewCSVTraceSink returns a sink encoding events as CSV rows to w.
+func NewCSVTraceSink(w io.Writer) obs.Sink { return obs.NewCSVSink(w) }
+
+// NewRotatingTraceWriter opens a size-rotating, optionally gzipped
+// trace output under path (xpsim's -trace-rotate / -trace-gzip flags).
+// Wrap it in a JSONL or CSV sink; segments split only at line
+// boundaries so each rotated file parses on its own.
+func NewRotatingTraceWriter(path string, cfg TraceRotateConfig) (*obs.RotatingWriter, error) {
+	return obs.NewRotatingWriter(path, cfg)
+}
+
+// NewQuantileSketch returns an empty sketch with relative accuracy
+// alpha (0 selects the 0.5% default).
+func NewQuantileSketch(alpha float64) *QuantileSketch { return stats.NewSketch(alpha) }
+
+// NewDist returns an empty distribution collector in the current
+// process-wide mode (see SetFCTSketchMode).
+func NewDist() *Dist { return stats.NewDist() }
+
+// SetFCTSketchMode selects how experiments collect FCT and gap
+// distributions: false (default) retains every sample and reproduces
+// the historical byte-exact percentiles; true streams samples into
+// quantile sketches, bounding memory at O(1) per distribution with a
+// ≤0.5% relative error on interior percentiles (xpsim's -sketch flag).
+func SetFCTSketchMode(on bool) { stats.SetSketchMode(on) }
+
+// FCTSketchMode reports the current collector mode.
+func FCTSketchMode() bool { return stats.SketchMode() }
 
 // NewRingSink returns an in-memory ring-buffer sink holding the last
 // capacity events (handy in tests).

@@ -44,10 +44,10 @@ func runExtDCQCN(p Params, w io.Writer) error {
 			env.Dial(proto, f)
 		}
 		eng.RunUntil(2 * sim.Second)
-		var fcts []float64
+		fcts := stats.NewDist()
 		for _, f := range flows {
 			if f.Finished {
-				fcts = append(fcts, f.FCT().Seconds()*1e3)
+				fcts.Observe(f.FCT().Seconds() * 1e3)
 			}
 		}
 		var pauses uint64
@@ -56,7 +56,7 @@ func runExtDCQCN(p Params, w io.Writer) error {
 		}
 		bn := st.DownPort(0)
 		return []any{fanout, string(proto),
-			fmt.Sprintf("%.3g", stats.Percentile(fcts, 99)),
+			fmt.Sprintf("%.3g", fcts.Percentile(99)),
 			float64(bn.DataStats().MaxBytes) / 1e3,
 			st.Net.TotalDataDrops(), pauses}
 	})

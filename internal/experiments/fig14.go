@@ -38,11 +38,11 @@ func runFig14a(t *runner.T, p Params, w io.Writer) error {
 	_ = t // pure-compute part: no engine needed
 	rng := sim.NewRand(p.Seed)
 	model := netem.SoftNICDelay()
-	var us []float64
+	us := stats.NewDist()
 	for i := 0; i < 200000; i++ {
-		us = append(us, model.Sample(rng).Micros())
+		us.Observe(model.Sample(rng).Micros())
 	}
-	s := stats.Summarize(us)
+	s := us.Summary()
 	fmt.Fprintf(w, "(a) host credit-processing delay model (SoftNIC):\n")
 	fmt.Fprintf(w, "    p50=%.3gus p99=%.3gus p99.9=%.3gus max=%.3gus (paper: median 0.38us, 99.99%%=6.2us)\n",
 		s.P50, s.P99, s.P999, s.Max)
@@ -54,12 +54,12 @@ func runFig14a(t *runner.T, p Params, w io.Writer) error {
 func runFig14b(t *runner.T, p Params, w io.Writer) error {
 	eng := t.Engine(p.Seed)
 	st := topology.NewStar(eng, 2, topology.Config{LinkRate: 10 * unit.Gbps})
-	rx := &gapRecorder{eng: eng}
+	rx := &gapRecorder{eng: eng, gaps: stats.NewDist()}
 	st.Hosts[1].Register(99, rx)
 	// Pace credits at the max credit rate with the default 2% jitter.
 	gap := unit.TxTime(unit.MinFrame, (10 * unit.Gbps).Scale(unit.CreditRatio))
 	jr := eng.Rand().Fork()
-	var txGaps []float64
+	txGaps := stats.NewDist()
 	var lastTx sim.Time
 	var emit func()
 	n := 0
@@ -73,7 +73,7 @@ func runFig14b(t *runner.T, p Params, w io.Writer) error {
 		st.Hosts[0].Send(c)
 		now := eng.Now()
 		if lastTx > 0 {
-			txGaps = append(txGaps, (now - lastTx).Micros())
+			txGaps.Observe((now - lastTx).Micros())
 		}
 		lastTx = now
 		if n++; n < 20000 {
@@ -82,8 +82,8 @@ func runFig14b(t *runner.T, p Params, w io.Writer) error {
 	}
 	emit()
 	eng.Run()
-	tx := stats.Summarize(txGaps)
-	rxs := stats.Summarize(rx.gapsUS)
+	tx := txGaps.Summary()
+	rxs := rx.gaps.Summary()
 	fmt.Fprintf(w, "(b) inter-credit gap at max credit rate (ideal %.3gus):\n", gap.Micros())
 	fmt.Fprintf(w, "    TX: p50=%.3gus p99=%.3gus sd-ish spread=%.3gus\n", tx.P50, tx.P99, tx.Max-tx.Min)
 	fmt.Fprintf(w, "    RX: p50=%.3gus p99=%.3gus sd-ish spread=%.3gus (switch adds < ~0.7us)\n",
@@ -93,15 +93,15 @@ func runFig14b(t *runner.T, p Params, w io.Writer) error {
 
 // gapRecorder measures inter-arrival gaps of credits at a host.
 type gapRecorder struct {
-	eng    *sim.Engine
-	last   sim.Time
-	gapsUS []float64
+	eng  *sim.Engine
+	last sim.Time
+	gaps *stats.Dist
 }
 
 func (g *gapRecorder) OnPacket(p *packet.Packet) {
 	now := g.eng.Now()
 	if g.last > 0 {
-		g.gapsUS = append(g.gapsUS, (now - g.last).Micros())
+		g.gaps.Observe((now - g.last).Micros())
 	}
 	g.last = now
 	packet.Put(p)

@@ -266,11 +266,11 @@ func runFig6(p Params, w io.Writer) error {
 	fmt.Fprintln(w, "\ninter-credit gap at max credit rate (model, j=0.02):")
 	rng := sim.NewRand(p.Seed)
 	ideal := unit.TxTime(unit.MinFrame, (10 * unit.Gbps).Scale(unit.CreditRatio))
-	var gaps []float64
+	gaps := stats.NewDist()
 	for i := 0; i < 10000; i++ {
-		gaps = append(gaps, rng.Jitter(ideal, 0.02).Micros())
+		gaps.Observe(rng.Jitter(ideal, 0.02).Micros())
 	}
-	s := stats.Summarize(gaps)
+	s := gaps.Summary()
 	fmt.Fprintf(w, "  ideal=%v  p50=%.3fus p99=%.3fus max=%.3fus\n",
 		ideal, s.P50, s.P99, s.Max)
 	return nil

@@ -132,15 +132,15 @@ func runFig17(p Params, w io.Writer) error {
 			(float64(hosts) * 10e9 * 0.9)
 		cap := sim.Seconds(ideal*20) + 2*sim.Second
 		eng.RunUntil(cap)
-		var fcts []float64
+		fcts := stats.NewDist()
 		finished := 0
 		for _, f := range flows {
 			if f.Finished {
 				finished++
-				fcts = append(fcts, f.FCT().Seconds())
+				fcts.Observe(f.FCT().Seconds())
 			}
 		}
-		s := stats.Summarize(fcts)
+		s := fcts.Summary()
 		return []any{string(proto),
 			fmt.Sprintf("%.4gs", s.P50), fmt.Sprintf("%.4gs", s.P99),
 			fmt.Sprintf("%.4gs", s.Max), st.Net.TotalDataDrops(),

@@ -24,9 +24,13 @@ type realisticCfg struct {
 	winit    float64
 }
 
-// realisticResult aggregates what the §6.3 figures report.
+// realisticResult aggregates what the §6.3 figures report. FCTs
+// accumulate into per-class stats.Dist collectors: exact mode (the
+// default) keeps the historical byte-identical percentile path, sketch
+// mode (stats.SetSketchMode) bounds memory at O(1) per class for the
+// 100k-flow paper-scale runs.
 type realisticResult struct {
-	fctByClass  map[string][]float64 // size class → FCT seconds
+	fctByClass  map[string]*stats.Dist // size class → FCT seconds
 	finished    int
 	total       int
 	creditRecv  uint64
@@ -36,12 +40,13 @@ type realisticResult struct {
 	maxQueueKB  float64 // max over switch ports of peak occupancy
 }
 
-func (r realisticResult) fcts(classes ...string) []float64 {
-	var out []float64
-	for _, c := range classes {
-		out = append(out, r.fctByClass[c]...)
+// fct returns the FCT distribution of one size class (empty, never
+// nil, when the class saw no finished flows).
+func (r realisticResult) fct(cls string) *stats.Dist {
+	if d := r.fctByClass[cls]; d != nil {
+		return d
 	}
-	return out
+	return stats.NewDist()
 }
 
 // wasteRatio is the Fig 20 metric: credits that reached the sender after
@@ -104,7 +109,7 @@ func runRealistic(t *runner.T, p Params, rc realisticCfg) realisticResult {
 		XP:   core.Config{Alpha: alpha, WInit: winit, BaseRTT: baseRTT},
 		Conn: transport.ConnConfig{}}
 
-	res := realisticResult{fctByClass: map[string][]float64{}, total: len(specs)}
+	res := realisticResult{fctByClass: map[string]*stats.Dist{}, total: len(specs)}
 	var sessions []*core.Session
 	var all []*transport.Flow
 	for _, s := range specs {
@@ -140,7 +145,12 @@ func runRealistic(t *runner.T, p Params, rc realisticCfg) realisticResult {
 		}
 		res.finished++
 		cls := workload.SizeClass(f.Size)
-		res.fctByClass[cls] = append(res.fctByClass[cls], f.FCT().Seconds())
+		d := res.fctByClass[cls]
+		if d == nil {
+			d = stats.NewDist()
+			res.fctByClass[cls] = d
+		}
+		d.Observe(f.FCT().Seconds())
 	}
 	for _, s := range sessions {
 		res.creditRecv += s.CreditsReceived()
@@ -197,8 +207,8 @@ func runFig18(p Params, w io.Writer) error {
 			proto: ProtoExpressPass, dist: d, load: 0.6,
 			linkRate: 10 * unit.Gbps, alpha: c.a, winit: c.wi,
 		})
-		s := stats.Percentile(res.fcts("S"), 99)
-		l := stats.Percentile(res.fcts("L"), 99)
+		s := res.fct("S").Percentile(99)
+		l := res.fct("L").Percentile(99)
 		return []any{fmt.Sprintf("1/%g / 1/%g", 1/c.a, 1/c.wi), d.Name,
 			fmt.Sprintf("%.3gms", s*1e3), fmt.Sprintf("%.3gms", l*1e3)}
 	})
@@ -230,11 +240,11 @@ func runFig19(p Params, w io.Writer) error {
 			proto: proto, dist: d, load: 0.6, linkRate: 10 * unit.Gbps,
 		})
 		cell := func(cls string) string {
-			xs := res.fcts(cls)
-			if len(xs) == 0 {
+			d := res.fct(cls)
+			if d.N() == 0 {
 				return "-"
 			}
-			return fmt.Sprintf("%.3g/%.3g", stats.Mean(xs)*1e3, stats.Percentile(xs, 99)*1e3)
+			return fmt.Sprintf("%.3g/%.3g", d.Mean()*1e3, d.Percentile(99)*1e3)
 		}
 		return []any{d.Name, string(proto), cell("S"), cell("M"), cell("L"), cell("XL"),
 			fmt.Sprintf("%d/%d", res.finished, res.total)}
@@ -318,11 +328,11 @@ func runFig21(p Params, w io.Writer) error {
 			base := (di*len(protos) + pi) * len(speeds)
 			byRate := results[base : base+2]
 			cell := func(cls string) string {
-				a, b := byRate[0].fcts(cls), byRate[1].fcts(cls)
-				if len(a) == 0 || len(b) == 0 {
+				a, b := byRate[0].fct(cls), byRate[1].fct(cls)
+				if a.N() == 0 || b.N() == 0 {
 					return "-"
 				}
-				return fmt.Sprintf("%.2fx", stats.Mean(a)/stats.Mean(b))
+				return fmt.Sprintf("%.2fx", a.Mean()/b.Mean())
 			}
 			tbl.Add(d.Name, string(proto), cell("S"), cell("M"), cell("L"), cell("XL"))
 		}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"expresspass/internal/stats"
+)
+
+// TestSketchModeSerialParallelByteIdentical extends the determinism
+// gate to sketch-backed collectors: with stats.SetSketchMode(true),
+// FCT-reporting experiments must still produce byte-identical output
+// at any worker count. Sketch merges are plain bucket-count additions
+// and every trial owns its collectors, so worker scheduling must not
+// leak into the quantile estimates.
+func TestSketchModeSerialParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments twice per mode")
+	}
+	stats.SetSketchMode(true)
+	defer stats.SetSketchMode(false)
+	for _, tc := range []struct {
+		id    string
+		scale float64
+	}{
+		{"ext-dcqcn", 0.05},
+		{"fig17", 0.03},
+	} {
+		p := Params{Scale: tc.scale, Seed: 42}
+		serial := runAt(t, 1, tc.id, p)
+		parallel := runAt(t, gateWorkers(), tc.id, p)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: sketch-mode output differs between -procs 1 and -procs %d\nserial:\n%s\nparallel:\n%s",
+				tc.id, gateWorkers(), serial, parallel)
+		}
+	}
+}
+
+var numToken = regexp.MustCompile(`-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?`)
+
+// TestSketchModeMatchesExactOutput runs an FCT-reporting experiment in
+// exact and sketch mode and requires every numeric cell to agree
+// within 2% relative error (sketch α=0.5% plus %.3g/%.4g rounding of
+// both sides), with the surrounding text identical. The simulations
+// themselves are mode-independent — only the quantile reporting path
+// differs — so the token streams align one-to-one.
+func TestSketchModeMatchesExactOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment twice")
+	}
+	run := func() string {
+		var b bytes.Buffer
+		if err := Run("fig17", Params{Scale: 0.03, Seed: 42}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	exact := run()
+	stats.SetSketchMode(true)
+	defer stats.SetSketchMode(false)
+	sketch := run()
+
+	// Numeric cells of different widths shift the table padding and
+	// rules, so collapse runs of spaces and dashes before comparing the
+	// textual skeleton.
+	spaces, dashes := regexp.MustCompile(` +`), regexp.MustCompile(`-+`)
+	norm := func(s string) string {
+		s = numToken.ReplaceAllString(s, "#")
+		s = spaces.ReplaceAllString(s, " ")
+		return dashes.ReplaceAllString(s, "-")
+	}
+	if norm(exact) != norm(sketch) {
+		t.Fatalf("non-numeric output differs between modes\nexact:\n%s\nsketch:\n%s", exact, sketch)
+	}
+	es := numToken.FindAllString(exact, -1)
+	ss := numToken.FindAllString(sketch, -1)
+	if len(es) != len(ss) {
+		t.Fatalf("numeric token counts differ: %d vs %d", len(es), len(ss))
+	}
+	for i := range es {
+		a, _ := strconv.ParseFloat(es[i], 64)
+		b, _ := strconv.ParseFloat(ss[i], 64)
+		if a == b {
+			continue
+		}
+		denom := math.Max(math.Abs(a), math.Abs(b))
+		if rel := math.Abs(a-b) / denom; rel > 0.02 {
+			t.Errorf("token %d: exact %s vs sketch %s (rel err %.2f%%)", i, es[i], ss[i], rel*100)
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Checker struct {
 	// discards them. Conservation and token-bucket checks stay armed.
 	voided bool
 	done   bool
+
+	// flight retains the last-N events when Options.FlightOut is set;
+	// flightDumped latches after the first violation's dump.
+	flight       *obs.FlightRecorder
+	flightDumped bool
 }
 
 // flowState is the credit-conservation ledger of one ExpressPass flow:
@@ -91,14 +96,41 @@ func Attach(net *netem.Network, opt Options) *Checker {
 		flows: make(map[int64]*flowState),
 		ports: make(map[string]*portState),
 	}
+	if c.opt.FlightOut != nil {
+		c.flight = obs.NewFlightRecorder(c.opt.FlightEvents, nil)
+	}
 	net.SetTracer(obs.NewTracer(c))
 	return c
+}
+
+// flightMu serializes flight-recorder dumps from concurrent trials
+// onto the shared FlightOut writer.
+var flightMu sync.Mutex
+
+// report dumps the flight ring (once per checker) before handing v to
+// the configured reporting path — so even a Panic-mode violation
+// leaves the lead-up events behind.
+func (c *Checker) report(v Violation) {
+	if c.flight != nil && !c.flightDumped {
+		c.flightDumped = true
+		flightMu.Lock()
+		evs := c.flight.Events()
+		fmt.Fprintf(c.opt.FlightOut, "# invariant violation: %s\n# last %d trace events before the violation:\n", v, len(evs))
+		c.flight.Dump(c.opt.FlightOut)
+		flightMu.Unlock()
+	}
+	c.opt.report(v)
 }
 
 // Record checks ev and forwards it to the displaced tracer. It is the
 // obs.Sink entry point; simulation code never calls it directly.
 func (c *Checker) Record(ev obs.Event) {
 	if !c.done {
+		// Feed the flight ring before checking so the offending event
+		// itself is the last entry of a dump.
+		if c.flight != nil {
+			c.flight.Record(ev)
+		}
 		switch ev.Type {
 		case obs.EvCreditRecv:
 			c.onCreditRecv(ev)
@@ -156,7 +188,7 @@ func (c *Checker) Finish() []Violation {
 		}
 	}
 	for _, v := range out {
-		c.opt.report(v)
+		c.report(v)
 	}
 	c.net, c.flows, c.ports = nil, nil, nil
 	return out
@@ -179,7 +211,7 @@ func (c *Checker) onCreditRecv(ev obs.Event) {
 	}
 	fs := c.flowState(ev.Flow)
 	if _, dup := fs.outstanding[ev.Seq]; dup {
-		c.opt.report(Violation{Time: ev.T, Invariant: "credit-conservation",
+		c.report(Violation{Time: ev.T, Invariant: "credit-conservation",
 			Scope: ev.Scope, Flow: ev.Flow,
 			Detail: fmt.Sprintf("credit %d delivered twice", ev.Seq)})
 		return
@@ -193,14 +225,14 @@ func (c *Checker) onDataSend(ev obs.Event) {
 	}
 	fs := c.flowState(ev.Flow)
 	if _, ok := fs.outstanding[ev.Seq]; !ok {
-		c.opt.report(Violation{Time: ev.T, Invariant: "credit-conservation",
+		c.report(Violation{Time: ev.T, Invariant: "credit-conservation",
 			Scope: ev.Scope, Flow: ev.Flow,
 			Detail: fmt.Sprintf("data packet spends credit %d which is not outstanding (uncredited send or double-spend)", ev.Seq)})
 		return
 	}
 	delete(fs.outstanding, ev.Seq)
 	if ev.Bytes > unit.MTUPayload {
-		c.opt.report(Violation{Time: ev.T, Invariant: "credit-conservation",
+		c.report(Violation{Time: ev.T, Invariant: "credit-conservation",
 			Scope: ev.Scope, Flow: ev.Flow,
 			Detail: fmt.Sprintf("payload %v exceeds the one-MTU authorization of a credit (%v)", ev.Bytes, unit.Bytes(unit.MTUPayload))})
 	}
@@ -338,7 +370,7 @@ func (c *Checker) onCreditTx(ev obs.Event) {
 	}
 	ps.tokens -= float64(unit.MinFrame)
 	if ps.tokens < -shadowEps {
-		c.opt.report(Violation{Time: ev.T, Invariant: "token-bucket",
+		c.report(Violation{Time: ev.T, Invariant: "token-bucket",
 			Scope: ev.Scope, Flow: ev.Flow,
 			Detail: fmt.Sprintf("credit throughput exceeds configured ratio: shadow meter overdrawn by %.1f bytes (rate %v, tolerance %v)",
 				-ps.tokens, ps.rate, unit.Bytes(ps.tol))})

@@ -1,0 +1,73 @@
+package invariant
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"expresspass/internal/obs"
+)
+
+// TestFlightRecorderDumpsOnFirstViolation: with FlightOut set, the
+// first violation dumps the last-N trace events (the offending event
+// last) exactly once, and later violations do not dump again.
+func TestFlightRecorderDumpsOnFirstViolation(t *testing.T) {
+	net, _ := tinyNet(t)
+	var dump bytes.Buffer
+	vs, opt := collect()
+	opt.FlightOut = &dump
+	opt.FlightEvents = 4
+	Attach(net, opt)
+	tr := net.Tracer()
+	// Benign lead-up traffic to fill (and wrap) the 4-event ring.
+	for seq := int64(1); seq <= 6; seq++ {
+		tr.Emit(obs.Event{Type: obs.EvCreditRecv, Scope: "h0", Flow: 1, Seq: seq, Bytes: 84})
+		tr.Emit(obs.Event{Type: obs.EvDataSend, Scope: "h0", Flow: 1, Seq: seq, Bytes: 1460})
+	}
+	if dump.Len() != 0 {
+		t.Fatalf("flight dumped before any violation:\n%s", dump.String())
+	}
+	// Uncredited send: fires credit-conservation and must trigger a dump
+	// whose final line is this offending event.
+	tr.Emit(obs.Event{Type: obs.EvDataSend, Scope: "h0", Flow: 9, Seq: 99, Bytes: 1460})
+	if len(*vs) != 1 {
+		t.Fatalf("expected 1 violation, got %v", *vs)
+	}
+	out := dump.String()
+	if !strings.HasPrefix(out, "# invariant violation:") {
+		t.Fatalf("dump missing context header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	jsonl := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, `{"t_us":`) {
+			jsonl++
+		}
+	}
+	if jsonl != 4 {
+		t.Fatalf("dump holds %d events, want ring capacity 4:\n%s", jsonl, out)
+	}
+	if !strings.Contains(lines[len(lines)-1], `"flow":9`) {
+		t.Fatalf("offending event is not the last dump entry:\n%s", out)
+	}
+	// A second violation must not dump again.
+	before := dump.Len()
+	tr.Emit(obs.Event{Type: obs.EvDataSend, Scope: "h0", Flow: 9, Seq: 100, Bytes: 1460})
+	if len(*vs) != 2 {
+		t.Fatalf("expected 2 violations, got %v", *vs)
+	}
+	if dump.Len() != before {
+		t.Fatal("flight recorder dumped more than once per checker")
+	}
+}
+
+// TestFlightRecorderOffByDefault: without FlightOut the checker
+// allocates no ring at all (the zero-overhead contract).
+func TestFlightRecorderOffByDefault(t *testing.T) {
+	net, _ := tinyNet(t)
+	_, opt := collect()
+	c := Attach(net, opt)
+	if c.flight != nil {
+		t.Fatal("flight ring allocated without FlightOut")
+	}
+}

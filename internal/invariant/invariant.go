@@ -33,6 +33,7 @@ package invariant
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"expresspass/internal/netem"
@@ -91,6 +92,17 @@ type Options struct {
 	// delay findings are positional (a port may later prove to carry
 	// uncredited traffic and be exempted) and are reported at Finish.
 	Panic bool
+
+	// FlightOut, when set, arms a flight recorder: the checker keeps the
+	// last FlightEvents trace events in a fixed-size ring and dumps them
+	// here (as JSONL, preceded by '#' context lines) the first time it
+	// reports a violation — the lead-up to the failure without the cost
+	// of a full on-disk trace. One dump per checker; dumps from
+	// concurrent trials are serialized on the shared writer.
+	FlightOut io.Writer
+
+	// FlightEvents is the flight-recorder ring capacity (default 4096).
+	FlightEvents int
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,58 @@
+package obs
+
+import "io"
+
+// FlightRecorder is a fixed-size event ring used as a crash recorder:
+// it tees the trace stream into memory (O(capacity), independent of
+// run length) so that when an invariant checker fires, the last N
+// events leading up to the violation can be dumped for post-mortem —
+// without paying for a full on-disk trace of the whole run.
+type FlightRecorder struct {
+	ring *RingSink
+	next Sink // optional downstream sink to tee into
+}
+
+// NewFlightRecorder returns a recorder retaining the most recent
+// capacity events (<=0 selects 4096). If next is non-nil every event
+// is forwarded to it unchanged, so the recorder can be spliced into an
+// existing sink chain without altering its output.
+func NewFlightRecorder(capacity int, next Sink) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &FlightRecorder{ring: NewRingSink(capacity), next: next}
+}
+
+// Record retains ev in the ring and forwards it downstream.
+func (f *FlightRecorder) Record(ev Event) {
+	f.ring.Record(ev)
+	if f.next != nil {
+		f.next.Record(ev)
+	}
+}
+
+// Close closes the downstream sink, if any (the ring stays readable).
+func (f *FlightRecorder) Close() error {
+	if f.next != nil {
+		return f.next.Close()
+	}
+	return nil
+}
+
+// Total returns the number of events ever recorded.
+func (f *FlightRecorder) Total() uint64 { return f.ring.Total() }
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []Event { return f.ring.Events() }
+
+// Dump writes the retained events to w as JSONL (same schema as a
+// JSONLSink trace), oldest first. w is not closed even if it is an
+// io.Closer — dump targets are typically shared (stderr, a file the
+// caller appends context to).
+func (f *FlightRecorder) Dump(w io.Writer) error {
+	s := NewJSONLSink(struct{ io.Writer }{w})
+	for _, ev := range f.ring.Events() {
+		s.Record(ev)
+	}
+	return s.Close()
+}

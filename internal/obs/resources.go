@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Resources is a point-in-time snapshot of the process's resource
+// footprint, reported at the end of a run (xpsim's summary line) and
+// checked by the bench gate's memory budget.
+type Resources struct {
+	// PeakRSSBytes is the process's high-water resident set size from
+	// /proc/self/status (VmHWM). 0 when the platform doesn't expose it.
+	PeakRSSBytes uint64
+
+	// HeapAllocBytes is the live Go heap at snapshot time.
+	HeapAllocBytes uint64
+
+	// GCPauseTotal is the cumulative stop-the-world pause time.
+	GCPauseTotal time.Duration
+
+	// NumGC is the number of completed GC cycles.
+	NumGC uint32
+}
+
+// ReadResources snapshots the current process resource usage.
+func ReadResources() Resources {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Resources{
+		PeakRSSBytes:   peakRSS(),
+		HeapAllocBytes: ms.HeapAlloc,
+		GCPauseTotal:   time.Duration(ms.PauseTotalNs),
+		NumGC:          ms.NumGC,
+	}
+}
+
+// peakRSS parses VmHWM out of /proc/self/status. Returns 0 when the
+// file or field is unavailable (non-Linux platforms) — callers treat 0
+// as "unknown", never as a measurement.
+func peakRSS() uint64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	return parseVmHWM(string(b))
+}
+
+// parseVmHWM extracts the VmHWM value (reported in kB) from the
+// contents of a /proc/<pid>/status file, returning bytes.
+func parseVmHWM(status string) uint64 {
+	const key = "VmHWM:"
+	for len(status) > 0 {
+		line := status
+		if i := strings.IndexByte(status, '\n'); i >= 0 {
+			line, status = status[:i], status[i+1:]
+		} else {
+			status = ""
+		}
+		if len(line) < len(key) || line[:len(key)] != key {
+			continue
+		}
+		// Field format: "VmHWM:\t  123456 kB"
+		f := line[len(key):]
+		start := 0
+		for start < len(f) && (f[start] == ' ' || f[start] == '\t') {
+			start++
+		}
+		end := start
+		for end < len(f) && f[end] >= '0' && f[end] <= '9' {
+			end++
+		}
+		kb, err := strconv.ParseUint(f[start:end], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

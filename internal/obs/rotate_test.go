@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"expresspass/internal/sim"
+)
+
+func testEvent(i int) Event {
+	return Event{
+		T:     sim.Time(i) * sim.Microsecond,
+		Type:  EvCreditSent,
+		Scope: "tor->h0",
+		Flow:  int64(i),
+		Seq:   int64(i),
+		Bytes: 84,
+	}
+}
+
+func TestRotatingWriterSplitsAtLineBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	rw, err := NewRotatingWriter(path, RotateConfig{MaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewJSONLSink(rw)
+	for i := 0; i < 200; i++ {
+		sink.Record(testEvent(i))
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := rw.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	total := 0
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("segment %s is empty", seg)
+		}
+		if b[len(b)-1] != '\n' {
+			t.Errorf("segment %s does not end at a line boundary", seg)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(string(b), "\n"), "\n") {
+			if !strings.HasPrefix(line, `{"t_us":`) || !strings.HasSuffix(line, "}") {
+				t.Fatalf("segment %s holds a torn line: %q", seg, line)
+			}
+			total++
+		}
+	}
+	if total != 200 {
+		t.Fatalf("want 200 events across segments, got %d", total)
+	}
+}
+
+func TestRotatingWriterSegmentNaming(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := NewRotatingWriter(filepath.Join(dir, "trace.jsonl"),
+		RotateConfig{MaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := rw.Write([]byte("0123456789012345678901234567890123456789\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := rw.Segments()
+	if got := filepath.Base(segs[0]); got != "trace-00000.jsonl" {
+		t.Fatalf("first segment named %q", got)
+	}
+	if got := filepath.Base(segs[1]); got != "trace-00001.jsonl" {
+		t.Fatalf("second segment named %q", got)
+	}
+}
+
+func TestRotatingWriterGzipSegmentsDecompressIndependently(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.jsonl")
+	rw, err := NewRotatingWriter(path, RotateConfig{MaxBytes: 512, Gzip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewJSONLSink(rw)
+	for i := 0; i < 200; i++ {
+		sink.Record(testEvent(i))
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := rw.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	total := 0
+	for _, seg := range segs {
+		if !strings.HasSuffix(seg, ".gz") {
+			t.Fatalf("gzip segment %s lacks .gz suffix", seg)
+		}
+		f, err := os.Open(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			t.Fatalf("segment %s is not valid gzip: %v", seg, err)
+		}
+		b, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("decompress %s: %v", seg, err)
+		}
+		if err := zr.Close(); err != nil {
+			t.Fatalf("gzip close %s: %v", seg, err)
+		}
+		f.Close()
+		total += strings.Count(string(b), "\n")
+	}
+	if total != 200 {
+		t.Fatalf("want 200 events across gzip segments, got %d", total)
+	}
+}
+
+func TestRotatingWriterNoRotationGzipSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	rw, err := NewRotatingWriter(filepath.Join(dir, "out.jsonl"),
+		RotateConfig{Gzip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := rw.Segments()
+	if len(segs) != 1 || filepath.Base(segs[0]) != "out.jsonl.gz" {
+		t.Fatalf("want single out.jsonl.gz, got %v", segs)
+	}
+}
+
+func TestRotatingWriterHeaderPerSegment(t *testing.T) {
+	dir := t.TempDir()
+	header := "t_us,ev,scope,flow,seq,bytes,val,aux,aux2\n"
+	rw, err := NewRotatingWriter(filepath.Join(dir, "out.csv"),
+		RotateConfig{MaxBytes: 256, Header: []byte(header)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewCSVSink(rw)
+	for i := 0; i < 50; i++ {
+		sink.Record(testEvent(i))
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := rw.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(b), header) {
+			t.Errorf("segment %s does not start with the CSV header", seg)
+		}
+		if strings.Count(string(b), header) != 1 {
+			t.Errorf("segment %s repeats the CSV header", seg)
+		}
+	}
+}
+
+// failAfterWriter fails every write once n bytes have been accepted.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestJSONLSinkLatchesWriteError(t *testing.T) {
+	boom := errors.New("disk full")
+	sink := NewJSONLSink(&failAfterWriter{n: 100, err: boom})
+	// The 64 KiB buffer absorbs writes until enough records force a
+	// flush; keep recording well past that point.
+	for i := 0; i < 5000; i++ {
+		sink.Record(testEvent(i))
+	}
+	if !errors.Is(sink.Err(), boom) {
+		t.Fatalf("Err() = %v, want latched %v", sink.Err(), boom)
+	}
+	if !errors.Is(sink.Close(), boom) {
+		t.Fatal("Close must report the latched write error")
+	}
+}
+
+func TestCSVSinkLatchesWriteError(t *testing.T) {
+	boom := errors.New("disk full")
+	sink := NewCSVSink(&failAfterWriter{n: 100, err: boom})
+	for i := 0; i < 5000; i++ {
+		sink.Record(testEvent(i))
+	}
+	if !errors.Is(sink.Err(), boom) {
+		t.Fatalf("Err() = %v, want latched %v", sink.Err(), boom)
+	}
+	if !errors.Is(sink.Close(), boom) {
+		t.Fatal("Close must report the latched write error")
+	}
+}
+
+func TestSinkCloseReportsDeferredFlushError(t *testing.T) {
+	boom := errors.New("disk full")
+	// Small enough that nothing flushes before Close: the error must
+	// still surface from Close's final flush.
+	sink := NewJSONLSink(&failAfterWriter{n: 0, err: boom})
+	sink.Record(testEvent(1))
+	if err := sink.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+}
+
+func TestRotatingWriterPropagatesOpenError(t *testing.T) {
+	_, err := NewRotatingWriter(filepath.Join(t.TempDir(), "no/such/dir/out.jsonl"),
+		RotateConfig{})
+	if err == nil {
+		t.Fatal("want error creating segment in missing directory")
+	}
+}
+
+func TestFlightRecorderDumpAndTee(t *testing.T) {
+	teeSink := NewRingSink(64)
+	fr := NewFlightRecorder(8, teeSink)
+	for i := 0; i < 20; i++ {
+		fr.Record(testEvent(i))
+	}
+	if fr.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", fr.Total())
+	}
+	evs := fr.Events()
+	if len(evs) != 8 || evs[0].Flow != 12 || evs[7].Flow != 19 {
+		t.Fatalf("ring retained wrong window: %+v", evs)
+	}
+	if teeSink.Total() != 20 {
+		t.Fatalf("tee received %d events, want 20", teeSink.Total())
+	}
+	var buf bytes.Buffer
+	if err := fr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 8 {
+		t.Fatalf("dump has %d lines, want 8", lines)
+	}
+	if !strings.Contains(buf.String(), `"flow":12`) {
+		t.Fatal("dump missing oldest retained event")
+	}
+}
+
+func TestParseVmHWM(t *testing.T) {
+	status := "Name:\txpsim\nVmPeak:\t  999 kB\nVmHWM:\t   12345 kB\nVmRSS:\t 1 kB\n"
+	if got := parseVmHWM(status); got != 12345*1024 {
+		t.Fatalf("parseVmHWM = %d, want %d", got, 12345*1024)
+	}
+	if got := parseVmHWM("Name:\tx\n"); got != 0 {
+		t.Fatalf("missing field should parse to 0, got %d", got)
+	}
+}
+
+func TestRegistrySketch(t *testing.T) {
+	r := NewRegistry()
+	sk := r.Sketch("fct_ms")
+	if r.Sketch("fct_ms") != sk {
+		t.Fatal("Sketch must be idempotent by name")
+	}
+	for i := 1; i <= 1000; i++ {
+		sk.Observe(float64(i))
+	}
+	snap := r.Snapshot()
+	byName := map[string]float64{}
+	for _, s := range snap {
+		byName[s.Name] = s.Value
+	}
+	if byName["fct_ms/count"] != 1000 {
+		t.Fatalf("count sample = %v", byName["fct_ms/count"])
+	}
+	if p50 := byName["fct_ms/p50"]; p50 < 495 || p50 > 506 {
+		t.Fatalf("p50 sample = %v, want ~500.5", p50)
+	}
+	if _, ok := byName["fct_ms/p999"]; !ok {
+		t.Fatal("sketch snapshot missing p999 column")
+	}
+}

@@ -2,10 +2,12 @@ package obs
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"expresspass/internal/sim"
 )
@@ -32,6 +34,12 @@ type Config struct {
 	// per-flow gauges (rate, w, delivered bytes, credit waste), keeping
 	// the CSV volume sane on many-thousand-flow workloads. Default 64.
 	FlowMetricsCap int
+
+	// Progress, when non-nil, receives per-trial heartbeat lines
+	// ("[phase] 12/40 trials, 3.1M events, 1.2M ev/s") rate-limited to
+	// about one per second of wall clock. The CLIs pass stderr so
+	// experiment stdout (the golden-pinned result tables) is untouched.
+	Progress io.Writer
 }
 
 // Runtime is the process-wide instrumentation state the CLIs install
@@ -56,6 +64,14 @@ type Runtime struct {
 	// EngineTotals stays race-free while other trials are still running.
 	trialEvents atomic.Uint64
 	trialPeak   atomic.Int64
+
+	// Sweep progress: phase label plus trial counters, driven by the
+	// runner. All atomic so heartbeats never contend with workers.
+	phase      atomic.Pointer[string]
+	sweepTotal atomic.Int64
+	sweepDone  atomic.Int64
+	started    time.Time
+	lastBeat   atomic.Int64 // unix nanos of the last heartbeat line
 }
 
 // NewRuntime returns a runtime for cfg.
@@ -66,7 +82,11 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.FlowMetricsCap <= 0 {
 		cfg.FlowMetricsCap = 64
 	}
-	rt := &Runtime{cfg: cfg, seen: make(map[*sim.Engine]struct{})}
+	rt := &Runtime{
+		cfg:     cfg,
+		seen:    make(map[*sim.Engine]struct{}),
+		started: time.Now(),
+	}
 	if cfg.MetricsOut != nil {
 		rt.mw = bufio.NewWriterSize(cfg.MetricsOut, 1<<16)
 	}
@@ -145,6 +165,86 @@ func (rt *Runtime) addTrialTotals(events uint64, peak int) {
 			return
 		}
 	}
+}
+
+// SetPhase labels the current run phase (the experiment name) for
+// heartbeat lines. The CLIs call it before each experiment.
+func (rt *Runtime) SetPhase(name string) {
+	rt.phase.Store(&name)
+}
+
+// StartSweep announces a sweep of the given expected trial count for
+// heartbeat reporting. The runner calls it at the top of every Map.
+func (rt *Runtime) StartSweep(trials int) {
+	rt.sweepTotal.Store(int64(trials))
+	rt.sweepDone.Store(0)
+}
+
+// TrialDone records one finished trial for heartbeat reporting.
+func (rt *Runtime) TrialDone() {
+	rt.sweepDone.Add(1)
+	rt.heartbeat(false)
+}
+
+// heartbeat emits one progress line if a Progress writer is configured
+// and at least a second of wall clock has passed since the previous
+// line (force skips the rate limit). The CAS on lastBeat makes the
+// rate limit race-free across worker goroutines; losing the race just
+// skips a redundant line.
+func (rt *Runtime) heartbeat(force bool) {
+	if rt.cfg.Progress == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := rt.lastBeat.Load()
+	if !force && now-last < int64(time.Second) {
+		return
+	}
+	if !rt.lastBeat.CompareAndSwap(last, now) {
+		return
+	}
+	phase := ""
+	if p := rt.phase.Load(); p != nil {
+		phase = *p
+	}
+	events, _ := rt.EngineTotals()
+	elapsed := time.Duration(now - rt.started.UnixNano()).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(events) / elapsed
+	}
+	fmt.Fprintf(rt.cfg.Progress, "[%s] %d/%d trials, %s events, %s ev/s\n",
+		phase, rt.sweepDone.Load(), rt.sweepTotal.Load(),
+		humanCount(float64(events)), humanCount(rate))
+}
+
+// humanCount renders a count with an SI suffix (1.2k, 3.4M, 5.6G).
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return strconv.FormatFloat(v/1e9, 'f', 1, 64) + "G"
+	case v >= 1e6:
+		return strconv.FormatFloat(v/1e6, 'f', 1, 64) + "M"
+	case v >= 1e3:
+		return strconv.FormatFloat(v/1e3, 'f', 1, 64) + "k"
+	default:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+}
+
+// Elapsed returns the wall-clock time since the runtime was created.
+func (rt *Runtime) Elapsed() time.Duration { return time.Since(rt.started) }
+
+// Resources snapshots the process resource footprint together with the
+// runtime's aggregate event rate — the end-of-run telemetry line.
+func (rt *Runtime) Resources() (Resources, float64) {
+	res := ReadResources()
+	events, _ := rt.EngineTotals()
+	rate := 0.0
+	if s := rt.Elapsed().Seconds(); s > 0 {
+		rate = float64(events) / s
+	}
+	return res, rate
 }
 
 // WriteRow appends one metrics sample to the CSV. No-op when metrics

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"expresspass/internal/sim"
+)
+
+// TestTrialLifecycle walks a trial scope through the full sweep
+// protocol — BeginTrial, BindEngine, buffered trace + metrics, Complete,
+// Flush — and checks the buffers replay into the shared runtime while
+// the engine totals land in the atomic accumulators.
+func TestTrialLifecycle(t *testing.T) {
+	var trace, metrics bytes.Buffer
+	rt := NewRuntime(Config{
+		Tracer:     NewTracer(NewJSONLSink(&trace)),
+		MetricsOut: &metrics,
+	})
+
+	tr := rt.BeginTrial(3)
+	if tr.Tracer() == nil {
+		t.Fatal("trial of a tracing runtime has no tracer")
+	}
+	if !tr.MetricsEnabled() || tr.Interval() != rt.Interval() || tr.FlowMetricsCap() != rt.FlowMetricsCap() {
+		t.Error("trial scope does not mirror runtime config")
+	}
+	if s := tr.NextScope(); s != "t3.0" {
+		t.Errorf("NextScope = %q, want t3.0", s)
+	}
+
+	eng := sim.New(1)
+	BindEngine(eng, tr)
+	BindEngine(eng, nil) // nil trial must be a no-op
+	if got := rt.ScopeFor(eng); got != Scope(tr) {
+		t.Fatalf("ScopeFor(bound engine) = %T, want the trial", got)
+	}
+	done := false
+	eng.At(5*sim.Microsecond, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("engine did not run")
+	}
+
+	tr.Tracer().Emit(Event{T: sim.Microsecond, Type: EvCreditSent, Scope: "a->b"})
+	tr.WriteRow(sim.Microsecond, "t3.0", "port/x/util", 0.5)
+	if trace.Len() != 0 || metrics.Len() != 0 {
+		t.Fatal("trial leaked output before Flush")
+	}
+
+	tr.Complete()
+	if _, ok := trialBindings.Load(eng); ok {
+		t.Error("Complete left the engine bound")
+	}
+	if ev, _ := rt.EngineTotals(); ev == 0 {
+		t.Error("Complete did not fold engine totals")
+	}
+	tr.Complete() // idempotent
+	tr.Flush()
+	tr.Flush() // idempotent
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), `"ev":"credit_sent"`) {
+		t.Errorf("flushed trace missing buffered event:\n%s", trace.String())
+	}
+	if !strings.Contains(metrics.String(), "t3.0,port/x/util,0.5") {
+		t.Errorf("flushed metrics missing buffered row:\n%s", metrics.String())
+	}
+
+	// An unbound engine resolves to the runtime itself.
+	if got := rt.ScopeFor(sim.New(2)); got != Scope(rt) {
+		t.Errorf("ScopeFor(unbound) = %T, want the runtime", got)
+	}
+}
+
+// TestStreamingTrialWritesThrough checks the serial-path trial scope:
+// no buffering — events and rows reach the shared runtime as they are
+// emitted, and Flush is only bookkeeping.
+func TestStreamingTrialWritesThrough(t *testing.T) {
+	var trace, metrics bytes.Buffer
+	rt := NewRuntime(Config{
+		Tracer:     NewTracer(NewJSONLSink(&trace)),
+		MetricsOut: &metrics,
+	})
+	tr := rt.BeginStreamingTrial(0)
+	if tr.Tracer() != rt.Tracer() {
+		t.Fatal("streaming trial does not share the runtime tracer")
+	}
+	if s := tr.NextScope(); s != "t0.0" {
+		t.Errorf("NextScope = %q, want the same labels as buffered trials", s)
+	}
+	tr.Tracer().Emit(Event{T: sim.Microsecond, Type: EvCreditSent, Scope: "a->b"})
+	tr.WriteRow(sim.Microsecond, "t0.0", "port/x/util", 0.5)
+	rt.mu.Lock()
+	rt.mw.Flush()
+	rt.mu.Unlock()
+	if !strings.Contains(metrics.String(), "t0.0,port/x/util,0.5") {
+		t.Error("streaming trial buffered its metrics row")
+	}
+	eng := sim.New(1)
+	BindEngine(eng, tr)
+	eng.At(sim.Microsecond, func() {})
+	eng.Run()
+	tr.Flush()
+	if ev, _ := rt.EngineTotals(); ev == 0 {
+		t.Error("Flush did not fold engine totals")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), `"ev":"credit_sent"`) {
+		t.Error("streaming trial lost its trace event")
+	}
+}
+
+// TestHeartbeatProgress pins the heartbeat line format and its rate
+// limit: the first TrialDone after StartSweep prints immediately,
+// back-to-back completions inside the same wall-clock second do not.
+func TestHeartbeatProgress(t *testing.T) {
+	var prog bytes.Buffer
+	rt := NewRuntime(Config{Progress: &prog})
+	rt.SetPhase("fig18")
+	rt.StartSweep(4)
+	rt.TrialDone()
+	first := prog.String()
+	if !strings.HasPrefix(first, "[fig18] 1/4 trials, ") || !strings.Contains(first, " ev/s\n") {
+		t.Fatalf("heartbeat line = %q", first)
+	}
+	rt.TrialDone()
+	rt.TrialDone()
+	if prog.String() != first {
+		t.Errorf("rate limit failed: extra heartbeats within one second:\n%s", prog.String())
+	}
+	rt.heartbeat(true)
+	if strings.Count(prog.String(), "\n") != 2 {
+		t.Errorf("forced heartbeat did not print:\n%s", prog.String())
+	}
+	if !strings.Contains(prog.String(), "[fig18] 3/4 trials, ") {
+		t.Errorf("forced heartbeat has stale counters:\n%s", prog.String())
+	}
+}
+
+// TestHeartbeatDisabled checks a runtime without a Progress writer
+// counts trials but never formats a line.
+func TestHeartbeatDisabled(t *testing.T) {
+	rt := NewRuntime(Config{})
+	rt.StartSweep(2)
+	rt.TrialDone()
+	rt.heartbeat(true) // must not panic with nil Progress
+	if rt.sweepDone.Load() != 1 {
+		t.Error("TrialDone did not count")
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {999, "999"}, {1500, "1.5k"}, {2.5e6, "2.5M"}, {3.2e9, "3.2G"},
+	} {
+		if got := humanCount(tc.v); got != tc.want {
+			t.Errorf("humanCount(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestResources exercises the end-of-run telemetry snapshot. Peak RSS
+// comes from /proc/self/status, so on Linux it must be nonzero and at
+// least as large as the current heap.
+func TestResources(t *testing.T) {
+	rt := NewRuntime(Config{})
+	eng := sim.New(1)
+	rt.AttachEngine(eng)
+	eng.At(sim.Microsecond, func() {})
+	eng.Run()
+	time.Sleep(time.Millisecond) // Elapsed() must be > 0
+	res, rate := rt.Resources()
+	if res.PeakRSSBytes == 0 {
+		t.Skip("VmHWM unavailable on this platform")
+	}
+	if res.HeapAllocBytes == 0 {
+		t.Error("HeapAllocBytes = 0")
+	}
+	if rate <= 0 {
+		t.Errorf("event rate = %g, want > 0", rate)
+	}
+	if rt.Elapsed() <= 0 {
+		t.Error("Elapsed() <= 0")
+	}
+}

@@ -19,9 +19,10 @@ import (
 // the cost of tracing-enabled runs, and the golden-file test pins this
 // exact byte format as the schema contract.
 type JSONLSink struct {
-	w  *bufio.Writer
-	c  io.Closer // closed on Close when the target is a file
-	ch [64]byte  // scratch for number formatting
+	w   *bufio.Writer
+	c   io.Closer // closed on Close when the target is a file
+	err error     // first write error, latched
+	ch  [64]byte  // scratch for number formatting
 }
 
 // NewJSONLSink writes JSON lines to w. If w is an io.Closer it is
@@ -54,8 +55,19 @@ func (s *JSONLSink) Record(ev Event) {
 	s.float(ev.Aux)
 	b.WriteString(`,"aux2":`)
 	s.float(ev.Aux2)
-	b.WriteString("}\n")
+	// bufio latches the first underlying write error; the terminal
+	// WriteString returns it, so one check per record catches any flush
+	// failure during this record or an earlier one.
+	if _, werr := b.WriteString("}\n"); werr != nil && s.err == nil {
+		s.err = werr
+	}
 }
+
+// Err returns the first write error encountered, if any. Sinks keep
+// accepting Record calls after a failure (the simulation must not
+// crash mid-run over a full disk), but the error is latched and
+// reported here and from Close.
+func (s *JSONLSink) Err() error { return s.err }
 
 func (s *JSONLSink) int(v int64) {
 	s.w.Write(strconv.AppendInt(s.ch[:0], v, 10))
@@ -65,9 +77,13 @@ func (s *JSONLSink) float(v float64) {
 	s.w.Write(strconv.AppendFloat(s.ch[:0], v, 'g', -1, 64))
 }
 
-// Close flushes buffered lines (and closes the underlying file, if any).
+// Close flushes buffered lines (and closes the underlying file, if
+// any), returning the first error seen across the sink's lifetime.
 func (s *JSONLSink) Close() error {
-	err := s.w.Flush()
+	err := s.err
+	if ferr := s.w.Flush(); err == nil {
+		err = ferr
+	}
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {
 			err = cerr
@@ -76,11 +92,16 @@ func (s *JSONLSink) Close() error {
 	return err
 }
 
+// CSVHeader is the column row a CSVSink emits before its first record
+// — exported so a RotatingWriter can re-emit it at each segment start.
+const CSVHeader = "t_us,ev,scope,flow,seq,bytes,val,aux,aux2\n"
+
 // CSVSink encodes events as CSV with a fixed header, one row per event
 // — the same columns as the JSONL schema, for spreadsheet-style tools.
 type CSVSink struct {
 	w      *bufio.Writer
 	c      io.Closer
+	err    error
 	header bool
 	ch     [64]byte
 }
@@ -97,16 +118,25 @@ func NewCSVSink(w io.Writer) *CSVSink {
 func (s *CSVSink) Record(ev Event) {
 	if !s.header {
 		s.header = true
-		s.w.WriteString("t_us,ev,scope,flow,seq,bytes,val,aux,aux2\n")
+		s.w.WriteString(CSVHeader)
 	}
-	fmt.Fprintf(s.w, "%g,%s,%s,%d,%d,%d,%g,%g,%g\n",
+	if _, werr := fmt.Fprintf(s.w, "%g,%s,%s,%d,%d,%d,%g,%g,%g\n",
 		ev.T.Micros(), ev.Type, ev.Scope, ev.Flow, ev.Seq, int64(ev.Bytes),
-		ev.Val, ev.Aux, ev.Aux2)
+		ev.Val, ev.Aux, ev.Aux2); werr != nil && s.err == nil {
+		s.err = werr
+	}
 }
 
-// Close flushes buffered rows (and closes the underlying file, if any).
+// Err returns the first write error encountered, if any.
+func (s *CSVSink) Err() error { return s.err }
+
+// Close flushes buffered rows (and closes the underlying file, if
+// any), returning the first error seen across the sink's lifetime.
 func (s *CSVSink) Close() error {
-	err := s.w.Flush()
+	err := s.err
+	if ferr := s.w.Flush(); err == nil {
+		err = ferr
+	}
 	if s.c != nil {
 		if cerr := s.c.Close(); err == nil {
 			err = cerr

@@ -51,18 +51,25 @@ var (
 // that worker's trial scope instead of the shared runtime.
 var trialBindings sync.Map // *sim.Engine → *Trial
 
-// Trial is the buffering Scope for one sweep trial. It is owned by a
-// single worker goroutine until Flush, which the runner calls from the
-// sweep's coordinating goroutine in submission order.
+// Trial is the Scope for one sweep trial. Parallel sweeps buffer: the
+// trial is owned by a single worker goroutine until Flush, which the
+// runner calls from the sweep's coordinating goroutine in submission
+// order. Serial sweeps stream (BeginStreamingTrial): trials already
+// run in submission order on one goroutine, so events and rows write
+// straight through to the shared runtime — O(1) memory instead of an
+// events-per-trial buffer — while keeping the same per-trial scope
+// labels, so serial and parallel output stay byte-identical.
 type Trial struct {
-	rt      *Runtime
-	idx     int
-	tracer  *Tracer
-	events  *sliceSink
-	rows    []trialRow
-	engines []*sim.Engine
-	scopes  int
-	done    bool
+	rt        *Runtime
+	idx       int
+	direct    bool
+	tracer    *Tracer
+	events    *sliceSink
+	rows      []trialRow
+	engines   []*sim.Engine
+	scopes    int
+	completed bool
+	done      bool
 }
 
 type trialRow struct {
@@ -91,6 +98,15 @@ func (rt *Runtime) BeginTrial(idx int) *Trial {
 		tr.tracer = &Tracer{sink: tr.events, mask: g.mask}
 	}
 	return tr
+}
+
+// BeginStreamingTrial returns a trial scope that writes trace events
+// and metrics rows directly to the shared runtime instead of
+// buffering them. Only valid when trials execute in submission order
+// on one goroutine (the runner's serial path) — the single-writer
+// contract on the sink and metrics CSV is then held by construction.
+func (rt *Runtime) BeginStreamingTrial(idx int) *Trial {
+	return &Trial{rt: rt, idx: idx, direct: true, tracer: rt.cfg.Tracer}
 }
 
 // BindEngine associates e with tr so networks built on e pick up the
@@ -144,35 +160,31 @@ func (tr *Trial) AttachEngine(e *sim.Engine) {
 	trialBindings.Store(e, tr)
 }
 
-// WriteRow buffers one metrics sample for replay at Flush.
+// WriteRow buffers one metrics sample for replay at Flush (streaming
+// trials write through immediately).
 func (tr *Trial) WriteRow(t sim.Time, scope, metric string, v float64) {
+	if tr.direct {
+		tr.rt.WriteRow(t, scope, metric, v)
+		return
+	}
 	if !tr.rt.MetricsEnabled() {
 		return
 	}
 	tr.rows = append(tr.rows, trialRow{t, scope, metric, v})
 }
 
-// Flush replays the trial's buffered trace events and metrics rows into
-// the shared runtime, folds its engines' totals into the runtime's
-// atomic accumulators, and unbinds the engines. The runner calls Flush
-// once per trial, in submission order, from a single goroutine — that
-// ordering is the determinism guarantee.
-func (tr *Trial) Flush() {
-	if tr.done {
+// Complete folds the trial's engine totals into the runtime's atomic
+// accumulators, unbinds the engines, and bumps the sweep progress
+// counters. The owning worker calls it right after the trial body
+// returns — the engines are quiescent at that point, so the reads are
+// race-free, and progress heartbeats see events as trials finish
+// rather than only at the submission-order flush. Idempotent; Flush
+// calls it as a fallback for callers that skip it.
+func (tr *Trial) Complete() {
+	if tr.completed {
 		return
 	}
-	tr.done = true
-	if tr.events != nil {
-		g := tr.rt.cfg.Tracer
-		for _, ev := range tr.events.events {
-			g.Emit(ev)
-		}
-		tr.events = nil
-	}
-	for _, r := range tr.rows {
-		tr.rt.WriteRow(r.t, r.scope, r.metric, r.v)
-	}
-	tr.rows = nil
+	tr.completed = true
 	var events uint64
 	var peak int
 	for _, e := range tr.engines {
@@ -184,4 +196,28 @@ func (tr *Trial) Flush() {
 	}
 	tr.engines = nil
 	tr.rt.addTrialTotals(events, peak)
+	tr.rt.TrialDone()
+}
+
+// Flush replays the trial's buffered trace events and metrics rows into
+// the shared runtime. The runner calls Flush once per trial, in
+// submission order, from a single goroutine — that ordering is the
+// determinism guarantee.
+func (tr *Trial) Flush() {
+	if tr.done {
+		return
+	}
+	tr.done = true
+	tr.Complete()
+	if tr.events != nil {
+		g := tr.rt.cfg.Tracer
+		for _, ev := range tr.events.events {
+			g.Emit(ev)
+		}
+		tr.events = nil
+	}
+	for _, r := range tr.rows {
+		tr.rt.WriteRow(r.t, r.scope, r.metric, r.v)
+	}
+	tr.rows = nil
 }

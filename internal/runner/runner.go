@@ -92,6 +92,9 @@ func Map[R any](n int, fn func(t *T, i int) R) []R {
 	}
 	out := make([]R, n)
 	rt := obs.Active()
+	if rt != nil {
+		rt.StartSweep(n)
+	}
 	if w := min(Procs(), n); w > 1 {
 		mapParallel(out, w, rt, fn)
 		return out
@@ -99,7 +102,10 @@ func Map[R any](n int, fn func(t *T, i int) R) []R {
 	for i := 0; i < n; i++ {
 		t := &T{Idx: i}
 		if rt != nil {
-			t.trial = rt.BeginTrial(i)
+			// Serial trials already run in submission order, so they
+			// stream into the shared runtime instead of buffering an
+			// entire trial's event volume (obs.BeginStreamingTrial).
+			t.trial = rt.BeginStreamingTrial(i)
 		}
 		out[i] = fn(t, i)
 		if t.trial != nil {
@@ -161,6 +167,12 @@ func runTrial[R any](out []R, trials []*obs.Trial, panics []any, panicked *atomi
 		t.trial = trials[i]
 	}
 	out[i] = fn(t, i)
+	if t.trial != nil {
+		// Fold engine totals in from the owning worker while the trial's
+		// engines are quiescent, so progress heartbeats track completion
+		// live; the submission-order Flush only replays buffered output.
+		t.trial.Complete()
+	}
 	trialCount.Add(1)
 }
 

@@ -1,0 +1,363 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// relErr returns |got-want|/|want| (0 when both are 0).
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// sampleSets builds dense FCT-shaped corpora: the distributions the
+// migrated experiments actually observe (log-normal-ish flow times,
+// exponential gaps, uniform jitter, heavy point masses).
+func sampleSets(n int) map[string][]float64 {
+	r := rand.New(rand.NewSource(7))
+	sets := map[string][]float64{}
+	logn := make([]float64, n)
+	for i := range logn {
+		logn[i] = math.Exp(r.NormFloat64()*1.5 - 7) // ~µs..ms FCTs
+	}
+	sets["lognormal"] = logn
+	exp := make([]float64, n)
+	for i := range exp {
+		exp[i] = r.ExpFloat64() * 3.2e-4
+	}
+	sets["exponential"] = exp
+	uni := make([]float64, n)
+	for i := range uni {
+		uni[i] = 5 + 10*r.Float64()
+	}
+	sets["uniform"] = uni
+	mix := make([]float64, n)
+	for i := range mix {
+		if i%10 == 0 {
+			mix[i] = 1.0 // heavy point mass
+		} else {
+			mix[i] = 0.001 * (1 + r.Float64())
+		}
+	}
+	sets["pointmass"] = mix
+	return sets
+}
+
+// TestSketchQuantileAccuracy pins the acceptance bound: sketch
+// quantiles within 1% relative error of exact Percentile on dense
+// FCT-shaped corpora, across the quantiles the experiments print.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	quantiles := []float64{1, 10, 25, 50, 75, 90, 99, 99.9}
+	for name, xs := range sampleSets(20000) {
+		sk := NewSketch(0)
+		for _, x := range xs {
+			sk.Observe(x)
+		}
+		for _, p := range quantiles {
+			got, want := sk.Percentile(p), Percentile(xs, p)
+			if e := relErr(got, want); e > 0.01 {
+				t.Errorf("%s p%g: sketch %g vs exact %g (rel err %.3f%% > 1%%)",
+					name, p, got, want, e*100)
+			}
+		}
+		if sk.Mean() != Mean(xs) {
+			t.Errorf("%s: sketch mean %g != exact %g (mean must be exact)", name, sk.Mean(), Mean(xs))
+		}
+		if sk.Min() != Min(xs) || sk.Max() != Max(xs) {
+			t.Errorf("%s: sketch min/max %g/%g != exact %g/%g", name, sk.Min(), sk.Max(), Min(xs), Max(xs))
+		}
+		if int(sk.Count()) != len(xs) {
+			t.Errorf("%s: count %d != %d", name, sk.Count(), len(xs))
+		}
+	}
+}
+
+// TestSketchSummaryMatchesExact checks the Summary-compatible snapshot
+// against Summarize within the bound.
+func TestSketchSummaryMatchesExact(t *testing.T) {
+	xs := sampleSets(50000)["lognormal"]
+	sk := NewSketch(0)
+	for _, x := range xs {
+		sk.Observe(x)
+	}
+	got, want := sk.Summary(), Summarize(xs)
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("exact fields differ: got %+v want %+v", got, want)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{{"p50", got.P50, want.P50}, {"p99", got.P99, want.P99}, {"p999", got.P999, want.P999}} {
+		if e := relErr(c.got, c.want); e > 0.01 {
+			t.Errorf("%s: %g vs %g (rel err %.3f%%)", c.name, c.got, c.want, e*100)
+		}
+	}
+}
+
+// TestSketchMergeDeterministic: merging per-shard sketches must equal
+// the single-sketch result exactly (bucket counts are integers), in any
+// shard split, and repeated runs must agree bit-for-bit.
+func TestSketchMergeDeterministic(t *testing.T) {
+	xs := sampleSets(8000)["exponential"]
+	whole := NewSketch(0)
+	for _, x := range xs {
+		whole.Observe(x)
+	}
+	for _, shards := range []int{2, 4, 7} {
+		parts := make([]*Sketch, shards)
+		for i := range parts {
+			parts[i] = NewSketch(0)
+		}
+		for i, x := range xs {
+			parts[i%shards].Observe(x)
+		}
+		merged := NewSketch(0)
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Count() != whole.Count() {
+			t.Fatalf("shards=%d: merged count %d != %d", shards, merged.Count(), whole.Count())
+		}
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99, 0.999} {
+			if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+				t.Errorf("shards=%d q=%g: merged %g != whole %g (merge must be exact on bucket counts)",
+					shards, q, m, w)
+			}
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Errorf("shards=%d: merged min/max drifted", shards)
+		}
+	}
+}
+
+func TestSketchMergeAlphaMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merge of mismatched alphas did not panic")
+		}
+	}()
+	a, b := NewSketch(0.005), NewSketch(0.02)
+	b.Observe(1)
+	a.Merge(b)
+}
+
+func TestSketchEmptyAndEdgeValues(t *testing.T) {
+	sk := NewSketch(0)
+	if !math.IsNaN(sk.Quantile(0.5)) || !math.IsNaN(sk.Mean()) {
+		t.Error("empty sketch should answer NaN")
+	}
+	sk.Observe(0)
+	sk.Observe(-2.5)
+	sk.Observe(2.5)
+	sk.Observe(math.NaN()) // ignored
+	if sk.Count() != 3 {
+		t.Fatalf("count = %d, want 3 (NaN ignored)", sk.Count())
+	}
+	if got := sk.Quantile(0.5); got != 0 {
+		t.Errorf("median of {-2.5, 0, 2.5} = %g, want 0", got)
+	}
+	xs := []float64{-2.5, 0, 2.5}
+	if e := relErr(sk.Percentile(99.9), Percentile(xs, 99.9)); e > 0.01 {
+		t.Errorf("high quantile misses the positive mass: %g vs %g", sk.Percentile(99.9), Percentile(xs, 99.9))
+	}
+	if e := relErr(sk.Percentile(0.1), Percentile(xs, 0.1)); e > 0.01 {
+		t.Errorf("low quantile misses the negative mass: %g vs %g", sk.Percentile(0.1), Percentile(xs, 0.1))
+	}
+	if sk.Min() != -2.5 || sk.Max() != 2.5 {
+		t.Errorf("min/max = %g/%g", sk.Min(), sk.Max())
+	}
+}
+
+// TestSketchBoundedBins pins the memory contract: a pathological
+// 12-decade input stays under the bin cap and keeps total counts.
+func TestSketchBoundedBins(t *testing.T) {
+	sk := NewSketch(0)
+	r := rand.New(rand.NewSource(11))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sk.Observe(math.Pow(10, -6+12*r.Float64()))
+	}
+	if sk.Bins() > 4096 {
+		t.Errorf("bins = %d, exceeds cap", sk.Bins())
+	}
+	if sk.Count() != n {
+		t.Errorf("count = %d, want %d (collapse must not lose mass)", sk.Count(), n)
+	}
+	// High quantiles stay accurate even if the low tail collapsed.
+	vals := make([]float64, 0, n)
+	r = rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		vals = append(vals, math.Pow(10, -6+12*r.Float64()))
+	}
+	if e := relErr(sk.Percentile(99), Percentile(vals, 99)); e > 0.01 {
+		t.Errorf("p99 rel err %.3f%% after growth", e*100)
+	}
+}
+
+// TestSketchCDF sanity: monotone fractions ending at 1.
+func TestSketchCDF(t *testing.T) {
+	sk := NewSketch(0)
+	for _, v := range []float64{1, 2, 2, 3, 10} {
+		sk.Observe(v)
+	}
+	vals, fracs := sk.CDF()
+	if len(vals) == 0 || len(vals) != len(fracs) {
+		t.Fatalf("bad CDF shape: %d vals, %d fracs", len(vals), len(fracs))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] || fracs[i] <= fracs[i-1] {
+			t.Errorf("CDF not strictly increasing at %d", i)
+		}
+	}
+	if fracs[len(fracs)-1] != 1 {
+		t.Errorf("CDF ends at %g, want 1", fracs[len(fracs)-1])
+	}
+}
+
+// ---- Dist ----
+
+// TestDistExactBitIdentical pins the migration contract: exact-mode
+// Dist answers are bit-identical to the historical slice-based calls,
+// including the arrival-order Mean and the sorted-order Summary mean.
+func TestDistExactBitIdentical(t *testing.T) {
+	for name, xs := range sampleSets(5000) {
+		d := NewDist()
+		raw := append([]float64(nil), xs...) // Dist must not alias caller data
+		for _, x := range raw {
+			d.Observe(x)
+		}
+		if got, want := d.Mean(), Mean(xs); got != want {
+			t.Errorf("%s: Mean %v != %v", name, got, want)
+		}
+		for _, p := range []float64{0, 1, 50, 99, 99.9, 100} {
+			if got, want := d.Percentile(p), Percentile(xs, p); got != want {
+				t.Errorf("%s: P%v %v != %v", name, p, got, want)
+			}
+		}
+		if got, want := d.Summary(), Summarize(xs); got != want {
+			t.Errorf("%s: Summary %+v != %+v", name, got, want)
+		}
+		gv, gf := d.CDF()
+		wv, wf := CDF(xs)
+		for i := range wv {
+			if gv[i] != wv[i] || gf[i] != wf[i] {
+				t.Fatalf("%s: CDF diverges at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestDistInterleavedQueriesResort: observations after a query must
+// invalidate the cached sort.
+func TestDistInterleavedQueriesResort(t *testing.T) {
+	d := NewDist()
+	for _, v := range []float64{5, 1, 3} {
+		d.Observe(v)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Fatalf("max = %g", got)
+	}
+	d.Observe(9)
+	d.Observe(0)
+	if got := d.Percentile(100); got != 9 {
+		t.Errorf("max after more samples = %g, want 9", got)
+	}
+	if got := d.Percentile(0); got != 0 {
+		t.Errorf("min after more samples = %g, want 0", got)
+	}
+	if got, want := d.Summary(), Summarize([]float64{5, 1, 3, 9, 0}); got != want {
+		t.Errorf("summary %+v != %+v", got, want)
+	}
+}
+
+func TestDistSketchMode(t *testing.T) {
+	SetSketchMode(true)
+	defer SetSketchMode(false)
+	d := NewDist()
+	if d.Sketch() == nil {
+		t.Fatal("sketch mode Dist has no sketch")
+	}
+	xs := sampleSets(10000)["lognormal"]
+	for _, x := range xs {
+		d.Observe(x)
+	}
+	if e := relErr(d.Percentile(99), Percentile(xs, 99)); e > 0.01 {
+		t.Errorf("sketch-mode p99 rel err %.3f%%", e*100)
+	}
+	if d.Mean() != Mean(xs) {
+		t.Errorf("sketch-mode mean not exact")
+	}
+	if d.N() != len(xs) {
+		t.Errorf("N = %d, want %d", d.N(), len(xs))
+	}
+}
+
+func TestDistMergeModes(t *testing.T) {
+	a, b := NewExactDist(), NewExactDist()
+	for _, v := range []float64{1, 5} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{3, 7} {
+		b.Observe(v)
+	}
+	a.Merge(b)
+	if got := a.Percentile(50); got != 4 {
+		t.Errorf("merged median = %g, want 4", got)
+	}
+	if a.N() != 4 {
+		t.Errorf("merged N = %d", a.N())
+	}
+
+	SetSketchMode(true)
+	sa, sb := NewDist(), NewDist()
+	SetSketchMode(false)
+	sa.Observe(1)
+	sb.Observe(3)
+	sa.Merge(sb)
+	if sa.N() != 2 {
+		t.Errorf("sketch merge N = %d", sa.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed-mode merge did not panic")
+		}
+	}()
+	sa.Merge(NewExactDist())
+}
+
+// ---- sorted fast path ----
+
+// TestSortedFastPathMatches: pre-sorted input must give identical
+// answers without mutating or re-copying, and Summarize/Percentile/CDF
+// agree between sorted and shuffled views of the same data.
+func TestSortedFastPathMatches(t *testing.T) {
+	shuffled := sampleSets(3000)["uniform"]
+	sorted := append([]float64(nil), shuffled...)
+	sort.Float64s(sorted)
+	if got, want := Summarize(sorted), Summarize(shuffled); got != want {
+		t.Errorf("Summarize sorted %+v != shuffled %+v", got, want)
+	}
+	if got, want := Percentile(sorted, 99), Percentile(shuffled, 99); got != want {
+		t.Errorf("Percentile sorted %v != shuffled %v", got, want)
+	}
+	sv, sf := CDF(sorted)
+	wv, wf := CDF(shuffled)
+	for i := range wv {
+		if sv[i] != wv[i] || sf[i] != wf[i] {
+			t.Fatalf("CDF diverges at %d", i)
+		}
+	}
+	// CDF must still return a copy on the fast path.
+	sv[0] = -999
+	if sorted[0] == -999 {
+		t.Error("CDF fast path aliased the caller's slice")
+	}
+}

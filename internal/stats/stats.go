@@ -35,11 +35,16 @@ func JainIndex(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between order statistics. xs need not be sorted. NaN for
-// empty input.
+// interpolation between order statistics. xs need not be sorted — but
+// input that already is (a prior Summarize/CDF call sorted a shared
+// slice, or a Dist handed out its samples) skips the copy and re-sort
+// entirely.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
+	}
+	if sort.Float64sAreSorted(xs) {
+		return percentileSorted(xs, p)
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
@@ -110,13 +115,18 @@ type Summary struct {
 	Min            float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. Already-sorted input takes a
+// read-only fast path with no copy or re-sort, so callers that sort
+// once can run Summarize, Percentile, and CDF for one sort's cost.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	s := xs
+	if !sort.Float64sAreSorted(s) {
+		s = append([]float64(nil), xs...)
+		sort.Float64s(s)
+	}
 	return Summary{
 		N:    len(s),
 		Mean: Mean(s),
@@ -128,10 +138,14 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
-// CDF returns (sorted values, cumulative fractions) for plotting.
+// CDF returns (sorted values, cumulative fractions) for plotting. The
+// values are always a fresh copy (callers plot and mutate them), but
+// already-sorted input skips the re-sort.
 func CDF(xs []float64) (vals, fracs []float64) {
 	vals = append([]float64(nil), xs...)
-	sort.Float64s(vals)
+	if !sort.Float64sAreSorted(vals) {
+		sort.Float64s(vals)
+	}
 	fracs = make([]float64, len(vals))
 	for i := range vals {
 		fracs[i] = float64(i+1) / float64(len(vals))
