@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check test bench bench-quick bench-gate gate fmt vet race fuzz-smoke cover
+.PHONY: check check-sharded test bench bench-quick bench-gate gate fmt vet race fuzz-smoke cover
 
 ## check: the pre-commit gate — vet, formatting, and the race-enabled
 ## tests of the engine, instrumentation, and parallel-runner layers
@@ -57,6 +57,19 @@ cover:
 gate:
 	XPSIM_GATE_ALL=1 go test -run TestSerialParallel -timeout 30m -v ./internal/experiments/
 
+## check-sharded: the sharded-engine determinism gate — the race-enabled
+## shard unit tests (epoch barriers, dom ordering, byte-identity on a
+## dumbbell), then every registered experiment byte-compared between one
+## event heap and -shards 4 with the invariant checkers armed. Set
+## XPSIM_GATE_ALL=1 to include the five heavy realistic workloads, as in
+## `make gate`.
+check-sharded:
+	go test -race -run 'TestShard|TestDefaultShards|TestHeapPopOrder' ./internal/sim/ ./internal/core/
+	go test -run TestSerialSharded -timeout 30m -v ./internal/experiments/
+	@echo "check-sharded: OK"
+
+# `make check` already runs `go vet ./...` through this target (check's
+# first prerequisite), so vet needs no separate invocation pre-commit.
 vet:
 	go vet ./...
 
@@ -82,7 +95,12 @@ bench-quick:
 ## half is the observability budget gate: a fully-traced fig18 sweep
 ## must average at most OBS_BYTES_BUDGET trace bytes per event and
 ## peak below OBS_RSS_BUDGET_MB of RSS (see TestObsBudgetGate).
+## HOTPATH_EVRATE_FLOOR guards throughput the same way the alloc budget
+## guards the heap: the same BenchmarkHotPath run must sustain at least
+## this many sim-events/sec (default 80% of the rate recorded after the
+## PR-4 hot-path work, BENCH_4.json; override for slower CI hosts).
 HOTPATH_ALLOC_BUDGET ?= 0
+HOTPATH_EVRATE_FLOOR ?= 9202272
 OBS_BYTES_BUDGET ?= 160
 OBS_RSS_BUDGET_MB ?= 256
 bench-gate:
@@ -93,7 +111,13 @@ bench-gate:
 	if [ "$$allocs" -gt "$(HOTPATH_ALLOC_BUDGET)" ]; then \
 		echo "bench-gate: FAIL — $$allocs allocs/op exceeds budget $(HOTPATH_ALLOC_BUDGET)"; exit 1; \
 	fi; \
-	echo "bench-gate: OK ($$allocs allocs/op, budget $(HOTPATH_ALLOC_BUDGET))"
+	echo "bench-gate: OK ($$allocs allocs/op, budget $(HOTPATH_ALLOC_BUDGET))"; \
+	evrate=$$(echo "$$out" | awk '/^BenchmarkHotPath/ { for (i=1; i<NF; i++) if ($$(i+1) == "sim-events/sec") print $$i }'); \
+	if [ -z "$$evrate" ]; then echo "bench-gate: could not parse sim-events/sec"; exit 1; fi; \
+	if echo "$$evrate $(HOTPATH_EVRATE_FLOOR)" | awk '{ exit !($$1 < $$2) }'; then \
+		echo "bench-gate: FAIL — $$evrate sim-events/sec below floor $(HOTPATH_EVRATE_FLOOR)"; exit 1; \
+	fi; \
+	echo "bench-gate: OK ($$evrate sim-events/sec, floor $(HOTPATH_EVRATE_FLOOR))"
 	XPSIM_OBS_GATE=1 XPSIM_OBS_BYTES_BUDGET=$(OBS_BYTES_BUDGET) \
 		XPSIM_OBS_RSS_BUDGET_MB=$(OBS_RSS_BUDGET_MB) \
 		go test -run '^TestObsBudgetGate$$' -count=1 -v -timeout 30m .

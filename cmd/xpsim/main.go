@@ -7,6 +7,7 @@
 //	xpsim [-scale 0.1] [-seed 42] fig15 fig16 table3
 //	xpsim -all
 //	xpsim -procs 8 table3
+//	xpsim -shards 4 fig17
 //	xpsim -trace out.jsonl -metrics metrics.csv fig17
 //	xpsim -faults 'flap@10ms+2ms; stall:s0@30ms+1ms' ext-faults-flap
 //
@@ -17,6 +18,12 @@
 // GOMAXPROCS; -procs 1 forces serial). Output — tables, traces, and
 // metrics alike — is byte-identical at any worker count for the same
 // seed; see internal/runner.
+//
+// Independently of -procs, -shards N cuts each trial's topology into up
+// to N regions that run on their own event heaps and goroutines with
+// conservative epoch barriers, parallelizing a single large simulation.
+// Output stays byte-identical to a serial run; see internal/sim
+// (ShardGroup) and internal/netem (SetShards).
 //
 // Observability flags (see internal/obs):
 //
@@ -86,6 +93,8 @@ func main() {
 		"fault timeline for ext-faults-* experiments, e.g. 'flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms'")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
 		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
+	shards := flag.Int("shards", 0,
+		"intra-run topology shards per trial (0/1 = serial; output is identical at any count)")
 	invariants := flag.Bool("invariants", false,
 		"arm the runtime invariant checkers; violations are printed and exit nonzero")
 	flightPath := flag.String("flight", "",
@@ -96,6 +105,7 @@ func main() {
 	flag.Parse()
 
 	expresspass.SetSweepProcs(*procs)
+	expresspass.SetShards(*shards)
 
 	if *faultSpec != "" {
 		plan, err := expresspass.ParseFaultSpec(*faultSpec)
@@ -231,6 +241,10 @@ func main() {
 				rt.Elapsed().Round(time.Millisecond), humanSI(rate),
 				humanBytes(res.PeakRSSBytes), humanBytes(res.HeapAllocBytes),
 				res.NumGC, res.GCPauseTotal.Round(time.Microsecond))
+			if peak := rt.PeakBufferedBytes(); peak > 0 {
+				fmt.Fprintf(os.Stderr, "xpsim: peak worker trace/metrics buffers %s\n",
+					humanBytes(uint64(peak)))
+			}
 		}
 		if err := rt.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)

@@ -27,14 +27,15 @@ type Session struct {
 func Dial(f *transport.Flow, cfg Config) *Session {
 	cfg = cfg.withDefaults(f.Receiver.LineRate())
 	s := &Session{Flow: f, Cfg: cfg}
-	eng := f.Sender.Engine()
-	s.snd = &sender{sess: s, host: f.Sender, eng: eng}
-	s.rcv = &receiver{sess: s, host: f.Receiver, eng: eng, rng: f.Receiver.Rand().Fork()}
+	s.snd = &sender{sess: s, host: f.Sender}
+	s.rcv = &receiver{sess: s, host: f.Receiver, rng: f.Receiver.Rand().Fork()}
 	s.rcv.fb = NewFeedback(cfg)
 	s.initObs()
 	f.Sender.Register(f.ID, s.snd)
 	f.Receiver.Register(f.ID, s.rcv)
-	eng.At2(f.StartAt, senderStart, s.snd, nil, 0)
+	// Scheduled in the sender's domain so the start event migrates to
+	// the sender's shard if the network partitions at first run.
+	f.Sender.Engine().At2D(f.Sender.Dom(), f.StartAt, senderStart, s.snd, nil, 0)
 	return s
 }
 
@@ -64,18 +65,22 @@ const (
 	emitPayloadMask = 1<<emitSeqShift - 1
 )
 
-// initObs caches the network tracer on both endpoints (nil when tracing
-// is off — each emission site then costs one nil check) and registers
-// per-flow metrics when a registry is active.
+// initObs wires the feedback-trace hook and registers per-flow metrics
+// when a registry is active. Endpoints do not cache the tracer: they
+// re-fetch it from their host per emission, because the network may
+// partition into shards at first run (after dialing), replacing the
+// tracer each endpoint must emit through.
 func (s *Session) initObs() {
 	f := s.Flow
 	if tr := f.Sender.Tracer(); tr != nil {
-		s.snd.trace = tr
-		s.rcv.trace = tr
 		if tr.Enabled(obs.EvFeedback) {
 			rcv := s.rcv
 			rcv.fb.OnUpdate = func(rate unit.Rate, w, loss float64, increased bool) {
-				tr.Emit(obs.Event{T: rcv.eng.Now(), Type: obs.EvFeedback,
+				t2 := f.Receiver.Tracer()
+				if t2 == nil {
+					return
+				}
+				t2.Emit(obs.Event{T: f.Receiver.Engine().Now(), Type: obs.EvFeedback,
 					Scope: f.Receiver.Name(), Flow: int64(f.ID),
 					Val: rate.Gbits(), Aux: w, Aux2: loss})
 			}
@@ -130,10 +135,8 @@ func (s *Session) W() float64 { return s.rcv.fb.W }
 // ---- sender ----
 
 type sender struct {
-	sess  *Session
-	host  *netem.Host
-	eng   *sim.Engine
-	trace *obs.Tracer // nil when tracing is off
+	sess *Session
+	host *netem.Host
 
 	remaining unit.Bytes // bytes not yet credited for transmission
 	unbounded bool       // long-running flow (Size == 0)
@@ -195,7 +198,8 @@ func (sn *sender) sendRequest() {
 	req.Dst = f.Receiver.ID()
 	req.Wire = unit.MinFrame
 	sn.host.Send(req)
-	sn.reqTimer = sn.eng.After2(4*sn.sess.Cfg.BaseRTT, senderSendRequest, sn, nil, 0)
+	sn.reqTimer = sn.host.Engine().After2D(sn.host.Dom(),
+		4*sn.sess.Cfg.BaseRTT, senderSendRequest, sn, nil, 0)
 }
 
 // OnPacket handles credits (and NACKs) arriving at the sender.
@@ -208,15 +212,16 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 		packet.Put(p)
 		return
 	}
+	eng := sn.host.Engine()
 	sn.creditsIn++
 	sn.reqRetries = 0
-	if tr := sn.trace; tr != nil {
-		tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvCreditRecv,
+	if tr := sn.host.Tracer(); tr != nil {
+		tr.Emit(obs.Event{T: eng.Now(), Type: obs.EvCreditRecv,
 			Scope: sn.host.Name(), Flow: int64(p.Flow), Seq: p.Seq, Bytes: p.Wire})
 	}
 	sn.gotCredit = true
 	sn.reqTimer.Cancel()
-	if now := sn.eng.Now(); now-sn.winStart > sn.sess.Cfg.BaseRTT {
+	if now := eng.Now(); now-sn.winStart > sn.sess.Cfg.BaseRTT {
 		sn.prevWin = sn.winCount
 		sn.winCount = 0
 		sn.winStart = now
@@ -227,8 +232,8 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 
 	if !sn.unbounded && sn.remaining <= 0 {
 		sn.creditsWasted++
-		if tr := sn.trace; tr != nil {
-			tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvCreditWaste,
+		if tr := sn.host.Tracer(); tr != nil {
+			tr.Emit(obs.Event{T: eng.Now(), Type: obs.EvCreditWaste,
 				Scope: sn.host.Name(), Flow: int64(sn.sess.Flow.ID), Seq: creditSeq})
 		}
 		sn.maybeStop()
@@ -246,7 +251,7 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 	// packets leave in credit order, as a FIFO NIC pipeline would. An
 	// injected host stall freezes the credit loop: the response is
 	// deferred to the stall end plus the normal processing delay.
-	from := sn.eng.Now()
+	from := eng.Now()
 	if su := sn.host.CreditStallUntil(); su > from {
 		from = su
 	}
@@ -260,9 +265,9 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 	// credit sequence — enough for ~2.8e14 credits. The closure
 	// fallback keeps correctness absolute should a run ever exceed it.
 	if creditSeq < 1<<(64-emitSeqShift) && payload <= emitPayloadMask {
-		sn.eng.At2(at, senderEmitData, sn, nil, uint64(creditSeq)<<emitSeqShift|uint64(payload))
+		eng.At2D(sn.host.Dom(), at, senderEmitData, sn, nil, uint64(creditSeq)<<emitSeqShift|uint64(payload))
 	} else {
-		sn.eng.At(at, func() { sn.emitData(payload, creditSeq) })
+		eng.AtD(sn.host.Dom(), at, func() { sn.emitData(payload, creditSeq) })
 	}
 	if !sn.unbounded && sn.remaining <= 0 {
 		sn.sentAll = true
@@ -291,7 +296,8 @@ func (sn *sender) armIdleWatchdog() {
 	if sn.unbounded || sn.remaining <= 0 {
 		return
 	}
-	sn.idleTimer = sn.eng.After2(8*sn.sess.Cfg.BaseRTT, senderIdleTimeout, sn, nil, 0)
+	sn.idleTimer = sn.host.Engine().After2D(sn.host.Dom(),
+		8*sn.sess.Cfg.BaseRTT, senderIdleTimeout, sn, nil, 0)
 }
 
 // onIdleTimeout fires when data remains unsent but no credit arrived
@@ -319,8 +325,8 @@ func (sn *sender) emitData(payload unit.Bytes, creditSeq int64) {
 	d.CreditSeq = creditSeq
 	sn.dataSent++
 	// Emit before Send: the port takes ownership of d and may recycle it.
-	if tr := sn.trace; tr != nil {
-		tr.Emit(obs.Event{T: sn.eng.Now(), Type: obs.EvDataSend,
+	if tr := sn.host.Tracer(); tr != nil {
+		tr.Emit(obs.Event{T: sn.host.Engine().Now(), Type: obs.EvDataSend,
 			Scope: sn.host.Name(), Flow: int64(f.ID), Seq: creditSeq, Bytes: payload})
 	}
 	sn.host.Send(d)
@@ -339,30 +345,32 @@ func (sn *sender) maybeStop() {
 		return
 	}
 	if sn.stopSent {
-		if sn.eng.Now() < sn.lastStop+4*sn.sess.Cfg.BaseRTT {
+		if sn.host.Engine().Now() < sn.lastStop+4*sn.sess.Cfg.BaseRTT {
 			return
 		}
 		sn.stopSent = false // a full window of stray credits: stop was lost
 	}
 	if sn.sess.Cfg.StopTimeout > 0 {
-		sn.stopTimer = sn.eng.After2(sn.sess.Cfg.StopTimeout, senderSendStop, sn, nil, 0)
+		sn.stopTimer = sn.host.Engine().After2D(sn.host.Dom(),
+			sn.sess.Cfg.StopTimeout, senderSendStop, sn, nil, 0)
 		return
 	}
 	sn.sendStop()
 }
 
 func (sn *sender) sendStop() {
-	if at := sn.lastEmit + 1; at > sn.eng.Now() {
+	eng := sn.host.Engine()
+	if at := sn.lastEmit + 1; at > eng.Now() {
 		// FIFO NIC: data responses are still scheduled to leave (the
 		// credit-processing delay defers them past now). The stop must
 		// not overtake them — the receiver reads a stop as "everything
 		// sent has arrived" and would NACK a tail that is still on its
 		// way.
-		sn.stopTimer = sn.eng.At2(at, senderSendStop, sn, nil, 0)
+		sn.stopTimer = eng.At2D(sn.host.Dom(), at, senderSendStop, sn, nil, 0)
 		return
 	}
 	sn.stopSent = true
-	sn.lastStop = sn.eng.Now()
+	sn.lastStop = eng.Now()
 	f := sn.sess.Flow
 	st := packet.Get()
 	st.Kind = packet.Ctrl
@@ -405,10 +413,8 @@ func (sn *sender) onNack(p *packet.Packet) {
 type receiver struct {
 	sess    *Session
 	host    *netem.Host
-	eng     *sim.Engine
 	rng     *sim.Rand
 	fb      *Feedback
-	trace   *obs.Tracer    // nil when tracing is off
 	fctHist *obs.Histogram // nil when metrics are off
 
 	active      bool
@@ -459,7 +465,8 @@ func (rc *receiver) OnPacket(p *packet.Packet) {
 		rc.nackRetries = 0
 		if f := rc.sess.Flow; f.Size > 0 && !f.Finished {
 			rc.nackTimer.Cancel()
-			rc.nackTimer = rc.eng.After2(4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
+			rc.nackTimer = rc.host.Engine().After2D(rc.host.Dom(),
+				4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
 		}
 	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlFin:
 		packet.Put(p)
@@ -478,7 +485,8 @@ func (rc *receiver) startCredits() {
 	rc.active = true
 	rc.lastEcho = rc.nextSeq
 	rc.sendCredit()
-	rc.tickTimer = rc.eng.After2(rc.sess.Cfg.Period, receiverTick, rc, nil, 0)
+	rc.tickTimer = rc.host.Engine().After2D(rc.host.Dom(),
+		rc.sess.Cfg.Period, receiverTick, rc, nil, 0)
 }
 
 func (rc *receiver) stopCredits() {
@@ -509,7 +517,8 @@ func (rc *receiver) requestMissing() {
 	nk.Ack = int64(f.BytesDelivered)
 	nk.Wire = unit.MinFrame
 	rc.host.Send(nk)
-	rc.nackTimer = rc.eng.After2(4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
+	rc.nackTimer = rc.host.Engine().After2D(rc.host.Dom(),
+		4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
 }
 
 // sendCredit emits one credit and schedules the next per the current
@@ -534,8 +543,8 @@ func (rc *receiver) sendCredit() {
 	c.Wire = size
 	rc.creditsSent++
 	// Emit before Send: the port takes ownership of c and may recycle it.
-	if tr := rc.trace; tr != nil {
-		tr.Emit(obs.Event{T: rc.eng.Now(), Type: obs.EvCreditSent,
+	if tr := rc.host.Tracer(); tr != nil {
+		tr.Emit(obs.Event{T: rc.host.Engine().Now(), Type: obs.EvCreditSent,
 			Scope: rc.host.Name(), Flow: int64(c.Flow), Seq: c.Seq, Bytes: size,
 			Val: rc.fb.Rate.Gbits(), Aux: rc.fb.W})
 	}
@@ -548,19 +557,23 @@ func (rc *receiver) sendCredit() {
 	if gap < 1 {
 		gap = 1
 	}
-	rc.creditTimer = rc.eng.After2(gap, receiverSendCredit, rc, nil, 0)
+	rc.creditTimer = rc.host.Engine().After2D(rc.host.Dom(),
+		gap, receiverSendCredit, rc, nil, 0)
 }
 
 // onData accounts delivered bytes and updates the echo-gap loss counts.
 func (rc *receiver) onData(p *packet.Packet) {
-	now := rc.eng.Now()
+	now := rc.host.Engine().Now()
 	f := rc.sess.Flow
 	wasFinished := f.Finished
 	f.Deliver(now, p.Payload)
 	if !wasFinished && f.Finished {
 		rc.nackTimer.Cancel()
 		if h := rc.fctHist; h != nil {
-			h.Observe(f.FCT().Seconds() * 1e3)
+			// Routed through the host so a sharded run defers the
+			// observation into the shard's buffer: histogram accumulation
+			// order is part of serial/sharded byte-identity.
+			rc.host.ObserveHist(h, f.FCT().Seconds()*1e3)
 		}
 	}
 	seq := p.CreditSeq
@@ -603,5 +616,6 @@ func (rc *receiver) tick() {
 		rc.prevHadSample = false
 	}
 	rc.delivered, rc.lost = 0, 0
-	rc.tickTimer = rc.eng.After2(cfg.Period, receiverTick, rc, nil, 0)
+	rc.tickTimer = rc.host.Engine().After2D(rc.host.Dom(),
+		cfg.Period, receiverTick, rc, nil, 0)
 }

@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"expresspass/internal/core"
+	"expresspass/internal/netem"
+	"expresspass/internal/obs"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// runShardSmoke drives a small dumbbell of finite ExpressPass flows with
+// a full trace attached and returns the trace bytes plus a digest of
+// the flow outcomes and engine counters. Serial and sharded runs must
+// produce identical values for everything it returns.
+func runShardSmoke(t *testing.T, shards int) (trace, digest string) {
+	t.Helper()
+	eng := sim.New(7)
+	d := topology.NewDumbbell(eng, 4, topology.Config{LinkRate: 10 * unit.Gbps})
+	if shards > 1 {
+		d.Net.SetShards(shards)
+	}
+	var tb bytes.Buffer
+	sink := obs.NewJSONLSink(&tb)
+	d.Net.SetTracer(obs.NewTracer(sink))
+
+	cfg := core.Config{BaseRTT: 100 * sim.Microsecond}
+	var flows []*transport.Flow
+	for i := 0; i < 4; i++ {
+		f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i],
+			unit.Bytes(150_000+30_000*i), sim.Time(i)*37*sim.Microsecond)
+		core.Dial(f, cfg)
+		flows = append(flows, f)
+	}
+	eng.RunUntil(30 * sim.Millisecond)
+	if err := sink.Close(); err != nil {
+		t.Fatalf("trace sink: %v", err)
+	}
+
+	var db bytes.Buffer
+	for i, f := range flows {
+		fmt.Fprintf(&db, "flow %d: finished=%v fct_us=%.4f delivered=%d\n",
+			i, f.Finished, f.FCT().Micros(), f.BytesDelivered)
+	}
+	fmt.Fprintf(&db, "events=%d now_us=%.3f drops=%d creditdrops=%d\n",
+		eng.Executed(), eng.Now().Micros(), d.Net.TotalDataDrops(), d.Net.TotalCreditDrops())
+	return tb.String(), db.String()
+}
+
+// TestShardedByteIdentity is the core-level determinism check for the
+// sharded engine: the same workload run serially and with a 4-way
+// topology cut must produce byte-identical traces and flow outcomes.
+func TestShardedByteIdentity(t *testing.T) {
+	serTrace, serDigest := runShardSmoke(t, 1)
+	shTrace, shDigest := runShardSmoke(t, 4)
+	if serDigest != shDigest {
+		t.Errorf("flow digests differ:\nserial:\n%s\nsharded:\n%s", serDigest, shDigest)
+	}
+	if serTrace != shTrace {
+		t.Errorf("traces differ (serial %d bytes, sharded %d bytes)", len(serTrace), len(shTrace))
+		logTraceDiff(t, serTrace, shTrace)
+	}
+	t.Logf("digest:\n%s", serDigest)
+}
+
+// TestShardedActuallyShards guards against the partition silently
+// declining: the dumbbell must split into the requested 4 shards.
+func TestShardedActuallyShards(t *testing.T) {
+	eng := sim.New(7)
+	d := topology.NewDumbbell(eng, 4, topology.Config{LinkRate: 10 * unit.Gbps})
+	d.Net.SetShards(4)
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 10_000, 0)
+	core.Dial(f, core.Config{BaseRTT: 100 * sim.Microsecond})
+	eng.RunUntil(5 * sim.Millisecond)
+	if !d.Net.Sharded() {
+		t.Fatal("network declined to shard")
+	}
+	if got := d.Net.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	if !f.Finished {
+		t.Fatal("flow did not finish under sharded execution")
+	}
+}
+
+// TestDefaultShardsApplies checks the process-wide default reaches
+// networks built after SetDefaultShards — the path the facade and
+// xpsim -shards use.
+func TestDefaultShardsApplies(t *testing.T) {
+	netem.SetDefaultShards(2)
+	defer netem.SetDefaultShards(0)
+	eng := sim.New(7)
+	d := topology.NewDumbbell(eng, 2, topology.Config{LinkRate: 10 * unit.Gbps})
+	f := transport.NewFlow(d.Net, d.Senders[0], d.Receivers[0], 10_000, 0)
+	core.Dial(f, core.Config{BaseRTT: 100 * sim.Microsecond})
+	eng.RunUntil(5 * sim.Millisecond)
+	if !d.Net.Sharded() {
+		t.Fatal("network ignored SetDefaultShards")
+	}
+}
+
+// logTraceDiff reports the first line where two traces diverge.
+func logTraceDiff(t *testing.T, a, b string) {
+	t.Helper()
+	la, lb := bytes.Split([]byte(a), []byte("\n")), bytes.Split([]byte(b), []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			t.Logf("first diff at trace line %d:\nserial:  %s\nsharded: %s", i+1, la[i], lb[i])
+			return
+		}
+	}
+	t.Logf("traces are a prefix of each other: %d vs %d lines", len(la), len(lb))
+}

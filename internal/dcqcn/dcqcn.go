@@ -89,6 +89,10 @@ func (d *CC) Init(c *transport.Conn) {
 	}
 	d.target = c.PaceRate
 	eng := c.Engine()
+	// Timers run in the sender host's scheduling domain: they mutate
+	// per-connection state, so a sharded run must execute them on the
+	// sender's shard alongside the rest of the connection.
+	dom := c.Flow.Sender.Dom()
 	// α decay: without CNPs, confidence in congestion fades.
 	var alphaTick func()
 	alphaTick = func() {
@@ -99,9 +103,9 @@ func (d *CC) Init(c *transport.Conn) {
 			d.alpha *= 1 - d.cfg.G
 		}
 		d.cnpSinceAT = false
-		eng.After(d.cfg.AlphaTimer, alphaTick)
+		eng.AfterD(dom, d.cfg.AlphaTimer, alphaTick)
 	}
-	eng.After(d.cfg.AlphaTimer, alphaTick)
+	eng.AfterD(dom, d.cfg.AlphaTimer, alphaTick)
 
 	var incTick func()
 	incTick = func() {
@@ -110,9 +114,9 @@ func (d *CC) Init(c *transport.Conn) {
 		}
 		d.timerIter++
 		d.increase(c)
-		eng.After(d.cfg.IncTimer, incTick)
+		eng.AfterD(dom, d.cfg.IncTimer, incTick)
 	}
-	eng.After(d.cfg.IncTimer, incTick)
+	eng.AfterD(dom, d.cfg.IncTimer, incTick)
 }
 
 // OnAck implements transport.CC: a marked echo is treated as a CNP,

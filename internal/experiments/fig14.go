@@ -54,7 +54,7 @@ func runFig14a(t *runner.T, p Params, w io.Writer) error {
 func runFig14b(t *runner.T, p Params, w io.Writer) error {
 	eng := t.Engine(p.Seed)
 	st := topology.NewStar(eng, 2, topology.Config{LinkRate: 10 * unit.Gbps})
-	rx := &gapRecorder{eng: eng, gaps: stats.NewDist()}
+	rx := &gapRecorder{host: st.Hosts[1], gaps: stats.NewDist()}
 	st.Hosts[1].Register(99, rx)
 	// Pace credits at the max credit rate with the default 2% jitter.
 	gap := unit.TxTime(unit.MinFrame, (10 * unit.Gbps).Scale(unit.CreditRatio))
@@ -91,15 +91,17 @@ func runFig14b(t *runner.T, p Params, w io.Writer) error {
 	return nil
 }
 
-// gapRecorder measures inter-arrival gaps of credits at a host.
+// gapRecorder measures inter-arrival gaps of credits at a host. It
+// reads the clock through the host so arrivals are stamped with the
+// host's shard time when the network is partitioned.
 type gapRecorder struct {
-	eng  *sim.Engine
+	host *netem.Host
 	last sim.Time
 	gaps *stats.Dist
 }
 
 func (g *gapRecorder) OnPacket(p *packet.Packet) {
-	now := g.eng.Now()
+	now := g.host.Engine().Now()
 	if g.last > 0 {
 		g.gaps.Observe((now - g.last).Micros())
 	}

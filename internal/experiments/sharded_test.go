@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"expresspass/internal/invariant"
+	"expresspass/internal/netem"
+	"expresspass/internal/obs"
+	"expresspass/internal/runner"
+)
+
+// runSharded runs one experiment with the process-wide default shard
+// count set to k, trials serialized (-procs 1) so the comparison
+// isolates the intra-run sharded engine rather than the trial pool.
+func runSharded(t *testing.T, k int, id string, p Params) []byte {
+	t.Helper()
+	netem.SetDefaultShards(k)
+	defer netem.SetDefaultShards(0)
+	runner.SetProcs(1)
+	defer runner.SetProcs(0)
+	var out bytes.Buffer
+	if err := Run(id, p, &out); err != nil {
+		t.Fatalf("shards=%d: %v", k, err)
+	}
+	return out.Bytes()
+}
+
+// TestSerialShardedByteIdentical is the sharded-engine determinism
+// gate: every registered experiment must print byte-identical output
+// when its topologies run on one event heap and when they are cut into
+// (up to) four shards with epoch-barrier synchronization, at the same
+// seed. As with the trial-pool gate above it runs with the runtime
+// invariant checkers armed, so sharding must neither perturb a single
+// output byte nor surface a single paper-property violation.
+func TestSerialShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism gate runs every experiment twice")
+	}
+	all := os.Getenv("XPSIM_GATE_ALL") != ""
+	invariant.Reset()
+	invariant.Arm(invariant.Options{})
+	defer invariant.Disarm()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if gateHeavy[e.ID] && !all {
+				t.Skip("heavy realistic workload; run via `make gate` (XPSIM_GATE_ALL=1)")
+			}
+			scale, ok := gateScale[e.ID]
+			if !ok {
+				scale = 0.01 // new experiments are gated by default
+			}
+			p := Params{Scale: scale, Seed: 42}
+			serial := runSharded(t, 0, e.ID, p)
+			sharded := runSharded(t, 4, e.ID, p)
+			if !bytes.Equal(serial, sharded) {
+				t.Errorf("output differs between serial and -shards 4\nserial:\n%s\nsharded:\n%s",
+					serial, sharded)
+			}
+			invariant.FinishArmed()
+			if n := invariant.Count(); n != 0 {
+				for i, v := range invariant.Violations() {
+					if i == 8 {
+						break
+					}
+					t.Errorf("invariant violation: %s", v)
+				}
+				t.Errorf("%d invariant violations with checkers armed", n)
+				invariant.Reset()
+			}
+		})
+	}
+}
+
+// shardShapeGauges are engine-shape metrics whose values legitimately
+// depend on how the event population is split across heaps: pending
+// counts and heap peaks are per-heap quantities sampled mid-run, and
+// the event freelist is per-engine. Every other metric — and the trace
+// — must still match byte for byte.
+var shardShapeGauges = map[string]bool{
+	"engine/pending":     true,
+	"engine/peak_heap":   true,
+	"sim/freelist_size":  true,
+	"sim/freelist_drops": true,
+}
+
+// stripShapeGauges removes metric CSV rows for the shard-shape gauges.
+func stripShapeGauges(csv string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(csv, "\n") {
+		// t_us,scope,metric,value
+		f := strings.Split(line, ",")
+		if len(f) == 4 && shardShapeGauges[f[2]] {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSerialShardedObsByteIdentical runs a traced, metered experiment
+// serially and sharded and requires the stdout and trace bytes to match
+// exactly, and the metrics CSV to match after dropping the engine-shape
+// gauges (see shardShapeGauges).
+func TestSerialShardedObsByteIdentical(t *testing.T) {
+	run := func(shards int) (out, trace, metrics string) {
+		netem.SetDefaultShards(shards)
+		defer netem.SetDefaultShards(0)
+		runner.SetProcs(1)
+		defer runner.SetProcs(0)
+		var ob, tb, mb bytes.Buffer
+		rt := obs.NewRuntime(obs.Config{
+			Tracer:     obs.NewTracer(obs.NewJSONLSink(&tb)),
+			MetricsOut: &mb,
+		})
+		obs.SetActive(rt)
+		defer obs.SetActive(nil)
+		if err := Run("ext-classes", Params{Scale: 0.05, Seed: 42}, &ob); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return ob.String(), tb.String(), mb.String()
+	}
+	so, st, sm := run(0)
+	ho, ht, hm := run(4)
+	if ho != so {
+		t.Errorf("stdout differs under tracing")
+	}
+	if ht != st {
+		t.Errorf("trace bytes differ between serial and sharded runs")
+	}
+	if stripShapeGauges(hm) != stripShapeGauges(sm) {
+		t.Errorf("metrics rows differ beyond the engine-shape gauges")
+	}
+	if st == "" {
+		t.Error("trace is empty — experiment emitted no events through the trial scope")
+	}
+}

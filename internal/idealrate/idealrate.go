@@ -40,8 +40,11 @@ type Oracle struct {
 	paths map[*transport.Conn][]*netem.Port
 }
 
-// NewOracle returns an oracle over net.
+// NewOracle returns an oracle over net. The oracle reads and writes
+// every connection's rate from whatever context invokes it, so the
+// network is pinned to serial execution.
 func NewOracle(net *netem.Network) *Oracle {
+	net.RequireSerial()
 	return &Oracle{net: net, paths: make(map[*transport.Conn][]*netem.Port)}
 }
 

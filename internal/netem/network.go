@@ -44,6 +44,17 @@ type Network struct {
 
 	nextFlow packet.FlowID
 
+	// Sharded-execution state (see shard.go). nextDom allocates the
+	// scheduling domains stamped on every event in serial and sharded
+	// runs alike; the rest is populated by shardize when a run actually
+	// partitions.
+	nextDom    int32
+	wantShards int
+	noShard    bool
+	sharded    bool
+	group      *sim.ShardGroup
+	coloc      [][2]*Host
+
 	// Instrumentation (all nil/zero when observation is off, in which
 	// case the simulation pays nothing beyond one nil check per hook).
 	tracer          *obs.Tracer
@@ -51,6 +62,8 @@ type Network struct {
 	rt              obs.Scope
 	scope           string
 	flowMetricsLeft int
+	shardBufs       []*obs.ShardBuf
+	shardTracers    []*obs.Tracer
 }
 
 // NewNetwork returns an empty network bound to eng. If a process-wide
@@ -58,7 +71,11 @@ type Network struct {
 // tracer handed to every port, per-port metrics registered, and a
 // metrics sampler scheduled on eng.
 func NewNetwork(eng *sim.Engine) *Network {
-	n := &Network{Eng: eng}
+	n := &Network{Eng: eng, wantShards: DefaultShards()}
+	// Partitioning is deferred to the first Run/RunUntil so the whole
+	// topology (and every colocation constraint) is known; until then
+	// the network only allocates scheduling domains.
+	eng.SetPreRun(n.maybeShard)
 	if rt := obs.Active(); rt != nil {
 		// ScopeFor routes to a per-trial scope when eng belongs to a
 		// runner sweep trial, so concurrent trials never share the
@@ -78,6 +95,7 @@ func (n *Network) NewHost(name string, delay HostDelayConfig) *Host {
 		name:  name,
 		net:   n,
 		eng:   n.Eng,
+		dom:   n.allocDom(),
 		rng:   n.Eng.Rand().Fork(),
 		Delay: delay,
 	}
@@ -92,6 +110,8 @@ func (n *Network) NewSwitch(name string) *Switch {
 		id:   packet.NodeID(len(n.nodes)),
 		name: name,
 		net:  n,
+		dom:  n.allocDom(),
+		rng:  n.Eng.Rand().Fork(),
 	}
 	n.nodes = append(n.nodes, s)
 	n.switches = append(n.switches, s)
@@ -122,10 +142,20 @@ func (n *Network) Connect(a, b Node, cfg PortConfig) (ab, ba *Port) {
 		name := fmt.Sprintf("%s->%s", owner.Name(), peer.Name())
 		return newPort(n.Eng, owner, c, name)
 	}
+	if n.sharded {
+		panic("netem: Connect after the topology was partitioned into shards")
+	}
 	ab = mk(a, b)
 	ba = mk(b, a)
 	ab.peer, ba.peer = ba, ab
 	ab.net, ba.net = n, n
+	// Owner-side events (wake, tx-done) run in the owner node's domain;
+	// each link direction gets its own domain for the events it delivers
+	// to the far node (arrivals, PFC signals), so every domain has a
+	// single scheduling source and keys are shard-independent.
+	ab.dom, ba.dom = domOf(a), domOf(b)
+	ab.linkDom, ba.linkDom = n.allocDom(), n.allocDom()
+	ab.rng, ba.rng = n.Eng.Rand().Fork(), n.Eng.Rand().Fork()
 	ab.global, ba.global = len(n.ports), len(n.ports)+1
 	a.addPort(ab)
 	b.addPort(ba)

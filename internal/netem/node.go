@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"expresspass/internal/packet"
+	"expresspass/internal/sim"
 )
 
 // Node is anything a port can belong to: a switch or a host.
@@ -44,6 +45,12 @@ type Switch struct {
 	name  string
 	net   *Network
 	ports []*Port
+
+	// dom is the switch's scheduling domain; rng its private stream
+	// (packet spraying), forked from the root RNG at creation so draws
+	// are identical in serial and sharded runs.
+	dom int32
+	rng *sim.Rand
 
 	// routes[dst] lists candidate egress port indexes (equal cost),
 	// sorted by peer node ID for deterministic ECMP. The table is a
@@ -149,7 +156,7 @@ func (s *Switch) NextPort(src, dst packet.NodeID, flow packet.FlowID) *Port {
 		return s.ports[cand[0]]
 	}
 	if s.spray {
-		return s.ports[cand[s.net.Eng.Rand().Intn(len(cand))]]
+		return s.ports[cand[s.rng.Intn(len(cand))]]
 	}
 	h := FlowHash(src, dst, flow) ^ s.hashSalt
 	// Remix so the salt affects all bits, not just an XOR of the low ones.

@@ -65,8 +65,11 @@ func (in *Port) pfcOnArrival(pkt *packet.Packet) {
 				Scope: in.name, Val: float64(st.ingressBytes)})
 		}
 		// PAUSE frames are tiny and bypass queues; model as a control
-		// signal delivered after one propagation delay.
-		in.eng.After2(in.cfg.Delay, portSetDataPaused, in.peer, nil, 1)
+		// signal delivered after one propagation delay. It executes at
+		// the upstream node, so it rides this link direction's delivery
+		// domain (crossing shards through the outbox like any arrival).
+		in.eng.Post(in.peer.eng, in.linkDom, in.eng.Now()+in.cfg.Delay,
+			portSetDataPaused, in.peer, nil, 1)
 	}
 }
 
@@ -93,7 +96,8 @@ func (p *Port) pfcOnDepart(pkt *packet.Packet) {
 			tr.Emit(obs.Event{T: in.eng.Now(), Type: obs.EvPFCResume,
 				Scope: in.name, Val: float64(st.ingressBytes)})
 		}
-		in.eng.After2(in.cfg.Delay, portSetDataPaused, in.peer, nil, 0)
+		in.eng.Post(in.peer.eng, in.linkDom, in.eng.Now()+in.cfg.Delay,
+			portSetDataPaused, in.peer, nil, 0)
 	}
 }
 

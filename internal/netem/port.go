@@ -85,6 +85,17 @@ type Port struct {
 	index  int // position in owner's port list
 	global int // position in the network's port list
 
+	// dom is the owner node's scheduling domain: wake and tx-done
+	// events execute at the owner. linkDom is this link direction's own
+	// domain for the events it delivers to the far node — arrivals and
+	// PFC signals — which execute on the peer owner's shard. rng is the
+	// port's private stream (credit random-victim, RED), forked from
+	// the root RNG at Connect so draws are identical in serial and
+	// sharded runs.
+	dom     int32
+	linkDom int32
+	rng     *sim.Rand
+
 	data   dataQueue
 	credit creditQueue
 	sched  *creditScheduler // non-nil when CreditClasses configured
@@ -299,7 +310,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	if pkt.IsCredit() && (p.sched != nil || p.credit.cap > 0) {
 		var rng *sim.Rand
 		if !p.cfg.CreditTailDrop {
-			rng = p.eng.Rand()
+			rng = p.rng
 		}
 		tr := p.trace
 		var dropsBefore uint64
@@ -337,7 +348,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 		pkt.CE = true
 	}
 	if p.cfg.RED != nil && pkt.ECNCapable && pkt.Kind == packet.Data {
-		p.cfg.RED.mark(p.data.curBytes(), pkt, p.eng.Rand())
+		p.cfg.RED.mark(p.data.curBytes(), pkt, p.rng)
 	}
 	if p.rcp != nil && pkt.Kind == packet.Data {
 		p.rcp.onArrival(now, pkt, p.data.curBytes())
@@ -387,7 +398,7 @@ func (p *Port) kick() {
 		// Only credits are waiting; wake when tokens accrue.
 		if !p.wake.Pending() {
 			at := p.bucket.readyAt(now, unit.MinFrame)
-			p.wake = p.eng.At2(at, portWake, p, nil, 0)
+			p.wake = p.eng.At2D(p.dom, at, portWake, p, nil, 0)
 		}
 	}
 }
@@ -413,13 +424,15 @@ func portTxDone(obj, _ any, _ uint64) {
 func portArrive(obj, aux any, _ uint64) {
 	p := obj.(*Port)
 	pkt := aux.(*packet.Packet)
-	if p.down || p.peer.down {
-		// The link flapped while the packet was in flight: it is
-		// lost on the wire, never reaching the peer.
-		p.faultDrop(pkt, p.eng.Now())
+	peer := p.peer
+	if p.down || peer.down {
+		// The link flapped while the packet was in flight: it is lost
+		// on the wire, never reaching the peer. Accounted at the
+		// receiving side, whose shard executes arrival events for this
+		// link direction.
+		peer.faultDrop(pkt, peer.eng.Now())
 		return
 	}
-	peer := p.peer
 	peer.pfcOnArrival(pkt)
 	peer.owner.Deliver(pkt, peer)
 }
@@ -466,10 +479,13 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	}
 	p.pfcOnDepart(pkt)
 	done := p.eng.Now() + tx
-	p.eng.At2(done, portTxDone, p, nil, 0)
+	p.eng.At2D(p.dom, done, portTxDone, p, nil, 0)
 	pkt.Hops++
+	// The arrival executes at the far node: schedule it in this link
+	// direction's delivery domain, crossing shards through the outbox
+	// when the peer lives elsewhere.
 	arrive := done + p.cfg.Delay
-	p.eng.At2(arrive, portArrive, p, pkt, 0)
+	p.eng.Post(p.peer.eng, p.linkDom, arrive, portArrive, p, pkt, 0)
 }
 
 func (p *Port) String() string {

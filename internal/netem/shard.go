@@ -1,0 +1,368 @@
+package netem
+
+// Topology partitioning for the sharded execution mode (sim.ShardGroup).
+//
+// A network built with SetShards(k>1) — or while the process-wide
+// default (SetDefaultShards, the facade's SetShards / xpsim -shards) is
+// set — defers partitioning to the engine's first Run/RunUntil, when
+// the whole topology and every colocation constraint are known. The
+// partition is a graph cut over nodes:
+//
+//   - Nodes joined by a zero-delay link, and transport endpoint pairs
+//     registered via Colocate, are fused into one cluster (they share
+//     mutable state or interact without lookahead).
+//   - Clusters are grown into k shards by deterministic BFS region
+//     growth: seed each shard at the lowest-numbered unassigned
+//     cluster, absorb unassigned neighbor clusters in ascending order
+//     until the shard reaches its node-count target.
+//   - The group lookahead is the minimum propagation delay over cut
+//     links: every cross-shard interaction is a packet (or PFC signal)
+//     crossing such a link, so events executed in a conservative
+//     window can only schedule cross-shard work at least one lookahead
+//     in the future.
+//
+// After the cut, every node's and link direction's scheduling domain
+// is assigned to its shard, host and port engines are rebound to the
+// shard engines, and per-shard trace/metric buffers (obs.ShardBuf) are
+// installed so instrumentation merges back into serial emission order
+// at every epoch barrier. Event keys (time, domain, sequence) are
+// stamped identically in serial and sharded runs, which is why the two
+// modes produce byte-identical output.
+
+import (
+	"sync/atomic"
+
+	"expresspass/internal/obs"
+	"expresspass/internal/sim"
+)
+
+// defaultShards is the process-wide shard count applied to every
+// subsequently built network (0 or 1 = serial). Atomic because runner
+// sweep trials construct networks on worker goroutines.
+var defaultShards atomic.Int32
+
+// SetDefaultShards sets the shard count newly created networks start
+// with. The facade and the CLIs call this; individual networks can
+// override with Network.SetShards before their first run.
+func SetDefaultShards(k int) { defaultShards.Store(int32(k)) }
+
+// DefaultShards returns the process-wide default shard count.
+func DefaultShards() int { return int(defaultShards.Load()) }
+
+// SetShards requests that this network partition into (at most) k
+// shards at its first run. Values below 2 keep the run serial. Must be
+// called before the engine first runs.
+func (n *Network) SetShards(k int) {
+	if n.sharded {
+		panic("netem: SetShards after the topology was partitioned")
+	}
+	n.wantShards = k
+}
+
+// RequireSerial pins this network to serial execution regardless of
+// any requested shard count. Components whose correctness depends on
+// observing the whole network in one goroutine (the ideal-rate oracle)
+// call it before traffic flows.
+func (n *Network) RequireSerial() {
+	if n.sharded {
+		panic("netem: RequireSerial after the topology was partitioned")
+	}
+	n.noShard = true
+}
+
+// Colocate constrains a and b to the same shard. Transports that share
+// connection state between both endpoints (transport.Conn) must
+// colocate sender and receiver; ExpressPass sessions need no
+// colocation (their endpoint halves are independent).
+func (n *Network) Colocate(a, b *Host) {
+	if a == b {
+		return
+	}
+	if n.sharded {
+		if n.group.ShardOf(a.dom) != n.group.ShardOf(b.dom) {
+			panic("netem: Colocate(" + a.name + ", " + b.name + ") after the topology was partitioned")
+		}
+		return
+	}
+	n.coloc = append(n.coloc, [2]*Host{a, b})
+}
+
+// Sharded reports whether the topology was partitioned.
+func (n *Network) Sharded() bool { return n.sharded }
+
+// Shards returns the number of shard engines running this network
+// (1 when serial).
+func (n *Network) Shards() int {
+	if n.group == nil {
+		return 1
+	}
+	return n.group.N()
+}
+
+// allocDom hands out scheduling domains. Domain 0 is reserved for
+// global events (experiment closures, faults, the metrics sampler),
+// which always execute on the root engine.
+func (n *Network) allocDom() int32 {
+	n.nextDom++
+	return n.nextDom
+}
+
+// domOf returns a node's scheduling domain. Foreign Node
+// implementations (test stubs) get domain 0: their events run on the
+// root engine and the network declines to shard.
+func domOf(nd Node) int32 {
+	switch v := nd.(type) {
+	case *Host:
+		return v.dom
+	case *Switch:
+		return v.dom
+	}
+	return 0
+}
+
+// maybeShard runs once, at the top of the engine's first Run/RunUntil
+// (registered by NewNetwork via Engine.SetPreRun), and partitions the
+// topology if a shard count was requested and the cut is viable.
+func (n *Network) maybeShard() {
+	if n.sharded || n.noShard || n.wantShards < 2 || len(n.nodes) < 2 {
+		return
+	}
+	if n.Eng.PreRunCount() > 1 {
+		// The engine hosts more than one network: their scheduling
+		// domains collide, so neither may partition.
+		return
+	}
+	for _, nd := range n.nodes {
+		if domOf(nd) == 0 {
+			// A foreign Node implementation has no scheduling domain;
+			// its events cannot be owned by a shard.
+			return
+		}
+	}
+
+	// Union-find: fuse endpoints of zero-delay links and colocated
+	// host pairs. Cut links must provide lookahead, and colocated
+	// endpoints share transport state.
+	parent := make([]int, len(n.nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, p := range n.ports {
+		if p.cfg.Delay <= 0 {
+			union(int(p.owner.ID()), int(p.peer.owner.ID()))
+		}
+	}
+	for _, pair := range n.coloc {
+		union(int(pair[0].id), int(pair[1].id))
+	}
+
+	// Clusters in deterministic order of their lowest node ID.
+	clusterOf := make([]int, len(n.nodes))
+	var weights []int
+	index := make(map[int]int) // union-find root -> cluster index
+	for i := range n.nodes {
+		r := find(i)
+		ci, ok := index[r]
+		if !ok {
+			ci = len(weights)
+			index[r] = ci
+			weights = append(weights, 0)
+		}
+		clusterOf[i] = ci
+		weights[ci]++
+	}
+	nc := len(weights)
+	k := n.wantShards
+	if k > nc {
+		k = nc
+	}
+	if k < 2 {
+		return
+	}
+
+	// Cluster adjacency from inter-cluster links, neighbor sets kept
+	// sorted-unique for deterministic BFS.
+	adj := make([][]int, nc)
+	addEdge := func(a, b int) {
+		for _, x := range adj[a] {
+			if x == b {
+				return
+			}
+		}
+		i := len(adj[a])
+		adj[a] = append(adj[a], b)
+		for i > 0 && adj[a][i-1] > b {
+			adj[a][i] = adj[a][i-1]
+			i--
+		}
+		adj[a][i] = b
+	}
+	for _, p := range n.ports {
+		a, b := clusterOf[p.owner.ID()], clusterOf[p.peer.owner.ID()]
+		if a != b {
+			addEdge(a, b)
+			addEdge(b, a)
+		}
+	}
+
+	// Deterministic BFS region growth: each shard seeds at the lowest
+	// unassigned cluster and absorbs unassigned neighbors in ascending
+	// order until it reaches its node-count target — but always leaves
+	// one cluster per remaining shard so every shard is nonempty.
+	shardOfCluster := make([]int, nc)
+	for i := range shardOfCluster {
+		shardOfCluster[i] = -1
+	}
+	target := (len(n.nodes) + k - 1) / k
+	unassigned := nc
+	for si := 0; si < k; si++ {
+		if si == k-1 {
+			for ci := 0; ci < nc; ci++ {
+				if shardOfCluster[ci] < 0 {
+					shardOfCluster[ci] = si
+				}
+			}
+			break
+		}
+		seed := -1
+		for ci := 0; ci < nc; ci++ {
+			if shardOfCluster[ci] < 0 {
+				seed = ci
+				break
+			}
+		}
+		w := weights[seed]
+		shardOfCluster[seed] = si
+		unassigned--
+		queue := []int{seed}
+		for len(queue) > 0 && w < target && unassigned > k-1-si {
+			c := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[c] {
+				if shardOfCluster[nb] >= 0 {
+					continue
+				}
+				shardOfCluster[nb] = si
+				unassigned--
+				w += weights[nb]
+				queue = append(queue, nb)
+				if w >= target || unassigned <= k-1-si {
+					break
+				}
+			}
+		}
+	}
+	shardOfNode := func(nd Node) int { return shardOfCluster[clusterOf[nd.ID()]] }
+
+	// Lookahead: the minimum propagation delay over any cut link. With
+	// no cut link the shards never interact and any positive lookahead
+	// is conservative.
+	look := sim.Duration(0)
+	for _, p := range n.ports {
+		if shardOfNode(p.owner) != shardOfNode(p.peer.owner) {
+			if look == 0 || p.cfg.Delay < look {
+				look = p.cfg.Delay
+			}
+		}
+	}
+	if look == 0 {
+		look = sim.Millisecond
+	}
+
+	n.shardize(k, look, shardOfNode)
+}
+
+// shardize builds the shard group, assigns every scheduling domain,
+// rebinds component engines, and installs the per-shard
+// instrumentation buffers and barrier hooks.
+func (n *Network) shardize(k int, look sim.Duration, shardOfNode func(Node) int) {
+	g := sim.NewShardGroup(n.Eng, k, look)
+	n.group = g
+	n.sharded = true
+
+	for _, nd := range n.nodes {
+		si := shardOfNode(nd)
+		g.AssignDom(domOf(nd), si)
+		if h, ok := nd.(*Host); ok {
+			h.eng = g.Shard(si)
+		}
+	}
+	for _, p := range n.ports {
+		p.eng = g.Shard(shardOfNode(p.owner))
+		// The link direction's delivery domain executes at the far
+		// node: arrivals and PFC signals from p land on the peer's
+		// shard.
+		g.AssignDom(p.linkDom, shardOfNode(p.peer.owner))
+	}
+
+	n.shardBufs = make([]*obs.ShardBuf, k)
+	for i := range n.shardBufs {
+		n.shardBufs[i] = obs.NewShardBuf(g.Shard(i))
+	}
+	n.rebindShardObs()
+	g.SetWindowHooks(
+		func() {
+			for _, b := range n.shardBufs {
+				b.SetDirect(false)
+			}
+		},
+		func() {
+			obs.MergeShardBufs(n.shardBufs)
+			for _, b := range n.shardBufs {
+				b.SetDirect(true)
+			}
+		},
+	)
+	g.Activate()
+}
+
+// rebindShardObs points every port and host at its shard's tracer
+// wrapper and buffer. Called at shardize and again whenever SetTracer
+// replaces the network tracer on a sharded network.
+func (n *Network) rebindShardObs() {
+	tr := n.tracer
+	if tr != nil {
+		n.shardTracers = make([]*obs.Tracer, len(n.shardBufs))
+		for i, b := range n.shardBufs {
+			n.shardTracers[i] = tr.WithSink(b)
+		}
+	} else {
+		n.shardTracers = nil
+	}
+	for _, b := range n.shardBufs {
+		b.SetDest(tr)
+	}
+	for _, p := range n.ports {
+		if n.shardTracers != nil {
+			p.trace = n.shardTracers[n.group.ShardOf(p.dom)]
+		} else {
+			p.trace = nil
+		}
+	}
+	for _, h := range n.hosts {
+		si := n.group.ShardOf(h.dom)
+		h.shardBuf = n.shardBufs[si]
+		if n.shardTracers != nil {
+			h.shardTr = n.shardTracers[si]
+		} else {
+			h.shardTr = nil
+		}
+	}
+}

@@ -72,6 +72,14 @@ type Runtime struct {
 	sweepDone  atomic.Int64
 	started    time.Time
 	lastBeat   atomic.Int64 // unix nanos of the last heartbeat line
+
+	// Worker-buffer gauge: bytes of trace events and metrics rows
+	// currently held in unflushed parallel-trial buffers, plus the
+	// high-water mark. Heartbeats report the live value so a sweep
+	// whose trials buffer faster than the merge drains them is visible
+	// before it becomes an RSS problem.
+	bufBytes atomic.Int64
+	bufPeak  atomic.Int64
 }
 
 // NewRuntime returns a runtime for cfg.
@@ -167,6 +175,25 @@ func (rt *Runtime) addTrialTotals(events uint64, peak int) {
 	}
 }
 
+// addBufBytes adjusts the live worker-buffer gauge by n (negative at
+// flush) and maintains the high-water mark.
+func (rt *Runtime) addBufBytes(n int64) {
+	v := rt.bufBytes.Add(n)
+	for {
+		peak := rt.bufPeak.Load()
+		if v <= peak || rt.bufPeak.CompareAndSwap(peak, v) {
+			return
+		}
+	}
+}
+
+// BufferedBytes returns the bytes currently held in unflushed
+// parallel-trial trace/metrics buffers across all workers.
+func (rt *Runtime) BufferedBytes() int64 { return rt.bufBytes.Load() }
+
+// PeakBufferedBytes returns the high-water mark of BufferedBytes.
+func (rt *Runtime) PeakBufferedBytes() int64 { return rt.bufPeak.Load() }
+
 // SetPhase labels the current run phase (the experiment name) for
 // heartbeat lines. The CLIs call it before each experiment.
 func (rt *Runtime) SetPhase(name string) {
@@ -213,9 +240,13 @@ func (rt *Runtime) heartbeat(force bool) {
 	if elapsed > 0 {
 		rate = float64(events) / elapsed
 	}
-	fmt.Fprintf(rt.cfg.Progress, "[%s] %d/%d trials, %s events, %s ev/s\n",
+	buffered := ""
+	if b := rt.bufBytes.Load(); b > 0 {
+		buffered = ", " + humanCount(float64(b)) + "B buffered"
+	}
+	fmt.Fprintf(rt.cfg.Progress, "[%s] %d/%d trials, %s events, %s ev/s%s\n",
 		phase, rt.sweepDone.Load(), rt.sweepTotal.Load(),
-		humanCount(float64(events)), humanCount(rate))
+		humanCount(float64(events)), humanCount(rate), buffered)
 }
 
 // humanCount renders a count with an SI suffix (1.2k, 3.4M, 5.6G).

@@ -192,3 +192,39 @@ func TestResources(t *testing.T) {
 		t.Error("Elapsed() <= 0")
 	}
 }
+
+// TestBufferedBytesGauge checks the worker-buffer telemetry: a buffered
+// trial charges the runtime gauge as events and rows accumulate, the
+// peak survives the flush, and the live gauge returns to zero once the
+// buffers replay into the shared outputs.
+func TestBufferedBytesGauge(t *testing.T) {
+	var trace, metrics bytes.Buffer
+	rt := NewRuntime(Config{
+		Tracer:     NewTracer(NewJSONLSink(&trace)),
+		MetricsOut: &metrics,
+	})
+	if rt.BufferedBytes() != 0 || rt.PeakBufferedBytes() != 0 {
+		t.Fatal("fresh runtime reports buffered bytes")
+	}
+	tr := rt.BeginTrial(0)
+	tr.Tracer().Emit(Event{T: sim.Microsecond, Type: EvCreditSent, Scope: "a->b"})
+	tr.WriteRow(sim.Microsecond, "t0.0", "port/x/util", 0.5)
+	live := rt.BufferedBytes()
+	if live <= 0 {
+		t.Fatalf("BufferedBytes = %d after buffering, want > 0", live)
+	}
+	if peak := rt.PeakBufferedBytes(); peak < live {
+		t.Fatalf("PeakBufferedBytes = %d < live %d", peak, live)
+	}
+	tr.Complete()
+	tr.Flush()
+	if got := rt.BufferedBytes(); got != 0 {
+		t.Errorf("BufferedBytes = %d after Flush, want 0 (buffers replayed)", got)
+	}
+	if peak := rt.PeakBufferedBytes(); peak != live {
+		t.Errorf("PeakBufferedBytes = %d after Flush, want the high-water %d", peak, live)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import "expresspass/internal/sim"
+
+// ShardBuf defers instrumentation from one shard engine so that a
+// parallel window can run without touching shared sinks, and the
+// deferred records can be replayed later in exactly the order a serial
+// run would have produced them.
+//
+// Each record is stamped with the engine key (time, dom, seq) of the
+// event executing when it was produced (sim.Engine.CurrentKey). A
+// shard engine pops its events in key order, so a ShardBuf's entries
+// are appended in key order, and a k-way merge of all shards' buffers
+// by key — ties impossible, every domain lives on one shard — is the
+// serial emission order. The merge forwards trace events through the
+// destination Tracer's Emit (keeping its filter and count identical to
+// a serial run) and applies histogram observations in merged order
+// (Histogram.Observe is an order-dependent float sum, so replay order
+// is part of byte-identity).
+//
+// Outside parallel windows a ShardBuf is switched to direct mode: the
+// coordinator is the only goroutine running, events execute in global
+// key order already, and buffering would stamp them with a stale key
+// (root events carry the root engine's key, not the shard's). Direct
+// mode forwards immediately instead.
+//
+// Concurrency contract: Record/Observe are called only by the owning
+// shard's goroutine during windows and only by the coordinator outside
+// them; SetDirect and the merge run on the coordinator while workers
+// are parked. No locking is needed, mirroring the engine itself.
+type ShardBuf struct {
+	eng     *sim.Engine
+	dst     *Tracer // destination for direct forwarding and merge; may be nil (metrics without tracing)
+	direct  bool
+	entries []shardEntry
+	pos     int // merge cursor
+}
+
+// shardEntry is one deferred record: a trace event (h == nil) or a
+// histogram observation (h != nil), keyed for deterministic replay.
+type shardEntry struct {
+	at  sim.Time
+	dom int32
+	seq uint64
+	h   *Histogram
+	v   float64
+	ev  Event
+}
+
+// NewShardBuf returns a buffer for eng, starting in direct mode.
+func NewShardBuf(eng *sim.Engine) *ShardBuf {
+	return &ShardBuf{eng: eng, direct: true}
+}
+
+// SetDest sets the tracer that direct-mode events and merged events are
+// forwarded to. A nil destination is allowed when tracing is off —
+// only histogram observations may then pass through.
+func (b *ShardBuf) SetDest(tr *Tracer) { b.dst = tr }
+
+// SetDirect toggles between immediate forwarding (outside parallel
+// windows) and keyed buffering (inside them).
+func (b *ShardBuf) SetDirect(on bool) { b.direct = on }
+
+// Record implements Sink: it is the back end of a per-shard Tracer, so
+// ev has already passed the type filter.
+func (b *ShardBuf) Record(ev Event) {
+	if b.direct {
+		if b.dst != nil {
+			b.dst.Emit(ev)
+		}
+		return
+	}
+	at, dom, seq := b.eng.CurrentKey()
+	b.entries = append(b.entries, shardEntry{at: at, dom: dom, seq: seq, ev: ev})
+}
+
+// Observe applies — or defers, inside a window — one histogram
+// observation.
+func (b *ShardBuf) Observe(h *Histogram, v float64) {
+	if b.direct {
+		h.Observe(v)
+		return
+	}
+	at, dom, seq := b.eng.CurrentKey()
+	b.entries = append(b.entries, shardEntry{at: at, dom: dom, seq: seq, h: h, v: v})
+}
+
+// Close implements Sink; the buffer owns no resources.
+func (b *ShardBuf) Close() error { return nil }
+
+func entryLess(a, c *shardEntry) bool {
+	if a.at != c.at {
+		return a.at < c.at
+	}
+	if a.dom != c.dom {
+		return a.dom < c.dom
+	}
+	return a.seq < c.seq
+}
+
+// MergeShardBufs replays every buffer's deferred records in global key
+// order and empties the buffers. Runs at the epoch barrier on the
+// coordinator.
+func MergeShardBufs(bufs []*ShardBuf) {
+	for {
+		var best *ShardBuf
+		var bk *shardEntry
+		for _, b := range bufs {
+			if b.pos >= len(b.entries) {
+				continue
+			}
+			e := &b.entries[b.pos]
+			if bk == nil || entryLess(e, bk) {
+				best, bk = b, e
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.pos++
+		if bk.h != nil {
+			bk.h.Observe(bk.v)
+		} else if best.dst != nil {
+			best.dst.Emit(bk.ev)
+		}
+	}
+	for _, b := range bufs {
+		for i := range b.entries {
+			b.entries[i] = shardEntry{}
+		}
+		b.entries = b.entries[:0]
+		b.pos = 0
+	}
+}
+
+// WithSink returns a tracer with t's type filter over a different
+// sink. The sharded network layer uses it to hand each shard a tracer
+// that buffers into the shard's own ShardBuf while filtering exactly
+// like the network tracer it stands in for.
+func (t *Tracer) WithSink(sink Sink) *Tracer {
+	return &Tracer{sink: sink, mask: t.mask}
+}

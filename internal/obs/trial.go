@@ -14,6 +14,7 @@ package obs
 import (
 	"strconv"
 	"sync"
+	"unsafe"
 
 	"expresspass/internal/sim"
 )
@@ -68,6 +69,7 @@ type Trial struct {
 	rows      []trialRow
 	engines   []*sim.Engine
 	scopes    int
+	buffered  int64 // bytes accounted to the runtime's worker-buffer gauge
 	completed bool
 	done      bool
 }
@@ -79,11 +81,25 @@ type trialRow struct {
 	v      float64
 }
 
-// sliceSink buffers events in emission order for replay at Flush.
-type sliceSink struct{ events []Event }
+// sliceSink buffers events in emission order for replay at Flush,
+// charging each event to the owning trial's buffer gauge.
+type sliceSink struct {
+	tr     *Trial
+	events []Event
+}
 
-func (s *sliceSink) Record(ev Event) { s.events = append(s.events, ev) }
-func (s *sliceSink) Close() error    { return nil }
+func (s *sliceSink) Record(ev Event) {
+	s.events = append(s.events, ev)
+	s.tr.addBuf(int64(unsafe.Sizeof(ev)) + int64(len(ev.Scope)))
+}
+func (s *sliceSink) Close() error { return nil }
+
+// addBuf charges n bytes of buffered instrumentation to the runtime's
+// worker-buffer gauge; Flush refunds the total.
+func (tr *Trial) addBuf(n int64) {
+	tr.buffered += n
+	tr.rt.addBufBytes(n)
+}
 
 // BeginTrial returns a fresh per-trial scope. idx is the trial's
 // submission index; it prefixes the trial's metrics scope labels
@@ -92,7 +108,7 @@ func (s *sliceSink) Close() error    { return nil }
 func (rt *Runtime) BeginTrial(idx int) *Trial {
 	tr := &Trial{rt: rt, idx: idx}
 	if g := rt.cfg.Tracer; g != nil {
-		tr.events = &sliceSink{}
+		tr.events = &sliceSink{tr: tr}
 		// Same type filter as the global tracer so the buffer only
 		// holds events that will survive the replay.
 		tr.tracer = &Tracer{sink: tr.events, mask: g.mask}
@@ -170,7 +186,9 @@ func (tr *Trial) WriteRow(t sim.Time, scope, metric string, v float64) {
 	if !tr.rt.MetricsEnabled() {
 		return
 	}
-	tr.rows = append(tr.rows, trialRow{t, scope, metric, v})
+	r := trialRow{t, scope, metric, v}
+	tr.rows = append(tr.rows, r)
+	tr.addBuf(int64(unsafe.Sizeof(r)) + int64(len(scope)+len(metric)))
 }
 
 // Complete folds the trial's engine totals into the runtime's atomic
@@ -220,4 +238,8 @@ func (tr *Trial) Flush() {
 		tr.rt.WriteRow(r.t, r.scope, r.metric, r.v)
 	}
 	tr.rows = nil
+	if tr.buffered > 0 {
+		tr.rt.addBufBytes(-tr.buffered)
+		tr.buffered = 0
+	}
 }

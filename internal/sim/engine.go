@@ -14,9 +14,14 @@ type Handler func()
 // and tests.
 type Handler2 func(obj, aux any, arg uint64)
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same timestamp so execution order is deterministic (FIFO among
-// equal-time events, regardless of which API scheduled them).
+// event is a scheduled callback. Events are ordered by (at, dom, seq):
+// dom is a scheduling domain — a small integer naming the component that
+// deterministically produces the event stream (a host, one direction of
+// a link, …; 0 is the global/root domain) — and seq breaks remaining
+// ties so execution order is FIFO among equal-key events, regardless of
+// which API scheduled them. Serial runs use the same comparator as
+// sharded runs, so splitting the heap by domain ownership (see
+// ShardGroup) preserves execution order exactly.
 //
 // Exactly one of fn (closure API) and h (typed API) is non-nil. The
 // typed triple lives inline so steady-state packet events never touch
@@ -31,6 +36,7 @@ type event struct {
 	obj      any
 	aux      any
 	arg      uint64
+	dom      int32
 	canceled bool
 	index    int // heap index, -1 when popped
 }
@@ -79,11 +85,44 @@ type Engine struct {
 	// hook, when non-nil, observes every executed event (see SetHook).
 	// The disabled path costs exactly one predictable branch in Step.
 	hook func(now Time, pending int)
+
+	// Key of the event currently being dispatched (see CurrentKey);
+	// instrumentation uses it to attribute emissions to their causing
+	// event so per-shard buffers can be merged in execution order.
+	curDom int32
+	curSeq uint64
+
+	// Sharded execution (see shard.go). group is set on the root engine
+	// when a ShardGroup partitions it, and on every shard engine (with
+	// shardIdx >= 0). outbox accumulates cross-shard posts made during a
+	// window; the coordinator drains it at the barrier.
+	group    *ShardGroup
+	shardIdx int // -1 on unsharded/root engines
+	outbox   []post
+
+	// preRun hooks fire once, in registration order, at the top of the
+	// first Run/RunUntil — the point where every component has been
+	// built and wired, which is when a network decides whether (and how)
+	// to partition itself into shards.
+	preRun      []func()
+	preRunTotal int
+}
+
+// post is one deferred cross-shard schedule: an event destined for
+// another shard's heap, held in the scheduling shard's outbox until the
+// epoch barrier so shard heaps stay single-writer during windows.
+type post struct {
+	dst      *Engine
+	at       Time
+	h        Handler2
+	obj, aux any
+	arg      uint64
+	dom      int32
 }
 
 // New returns an engine at time zero whose RNG is seeded with seed.
 func New(seed uint64) *Engine {
-	return &Engine{rng: NewRand(seed)}
+	return &Engine{rng: NewRand(seed), shardIdx: -1}
 }
 
 // Now returns the current simulation time.
@@ -92,27 +131,109 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
 
-// Executed returns the number of events executed so far.
-func (e *Engine) Executed() uint64 { return e.nEvents }
+// shardEngines returns the shard engines when e is the root of a
+// sharded group, else nil. The instrumentation getters below fold
+// shards into the root's totals so code holding the root engine (obs
+// gauges, trial accounting, the metrics sampler's rearm test) sees the
+// same aggregate numbers it would see from one serial engine.
+func (e *Engine) shardEngines() []*Engine {
+	if g := e.group; g != nil && g.root == e {
+		return g.shards
+	}
+	return nil
+}
+
+// Executed returns the number of events executed so far (including, on
+// a sharded root, events executed by every shard).
+func (e *Engine) Executed() uint64 {
+	n := e.nEvents
+	for _, s := range e.shardEngines() {
+		n += s.nEvents
+	}
+	return n
+}
 
 // Pending returns the number of events currently queued (including
-// canceled-but-unpopped events).
-func (e *Engine) Pending() int { return len(e.heap) }
+// canceled-but-unpopped events; on a sharded root, summed over shards).
+func (e *Engine) Pending() int {
+	n := len(e.heap)
+	for _, s := range e.shardEngines() {
+		n += len(s.heap)
+	}
+	return n
+}
 
 // MaxPending returns the peak event-heap depth observed so far — the
-// engine's memory high-water mark and a proxy for model fan-out.
-func (e *Engine) MaxPending() int { return e.maxHeap }
+// engine's memory high-water mark and a proxy for model fan-out. On a
+// sharded root it is the max over the root and shard heaps (shard heaps
+// are disjoint slices of the serial heap, so this is a lower bound on
+// the equivalent serial peak).
+func (e *Engine) MaxPending() int {
+	m := e.maxHeap
+	for _, s := range e.shardEngines() {
+		if s.maxHeap > m {
+			m = s.maxHeap
+		}
+	}
+	return m
+}
 
 // FreeListSize returns the number of event structs currently parked on
 // the recycling free list (instrumentation: obs exports it as
-// sim/freelist_size).
-func (e *Engine) FreeListSize() int { return len(e.free) }
+// sim/freelist_size; summed over shards on a sharded root).
+func (e *Engine) FreeListSize() int {
+	n := len(e.free)
+	for _, s := range e.shardEngines() {
+		n += len(s.free)
+	}
+	return n
+}
 
 // FreeListDrops returns how many event structs were abandoned to the
 // garbage collector because the free list was at capacity. A non-zero
 // steady-state rate means the cap heuristic is losing recycling wins
-// (obs exports it as sim/freelist_drops).
-func (e *Engine) FreeListDrops() uint64 { return e.freeDrops }
+// (obs exports it as sim/freelist_drops; summed over shards on a
+// sharded root).
+func (e *Engine) FreeListDrops() uint64 {
+	n := e.freeDrops
+	for _, s := range e.shardEngines() {
+		n += s.freeDrops
+	}
+	return n
+}
+
+// CurrentKey returns the ordering key (time, dom, seq) of the event
+// being dispatched right now. Heap pop order within one engine is
+// exactly key order, so instrumentation that stamps each emission with
+// this key can merge per-shard buffers back into serial emission order
+// with a k-way merge (see obs.ShardBuf).
+func (e *Engine) CurrentKey() (Time, int32, uint64) { return e.now, e.curDom, e.curSeq }
+
+// SetPreRun registers fn to run once at the top of the first
+// Run/RunUntil, after which it is dropped. Networks use it to defer
+// topology partitioning (sharding) until every component has been
+// built on the engine. Multiple hooks run in registration order.
+func (e *Engine) SetPreRun(fn func()) {
+	e.preRun = append(e.preRun, fn)
+	e.preRunTotal++
+}
+
+// PreRunCount returns how many pre-run hooks were ever registered.
+// One hook per network, so a count above one tells a network it shares
+// the engine — in which case scheduling domains from the different
+// networks collide and partitioning must be declined.
+func (e *Engine) PreRunCount() int { return e.preRunTotal }
+
+func (e *Engine) firePreRun() {
+	if e.preRun == nil {
+		return
+	}
+	hooks := e.preRun
+	e.preRun = nil
+	for _, fn := range hooks {
+		fn()
+	}
+}
 
 // SetHook installs a profiling hook invoked after every executed event
 // with the current time and remaining heap depth (nil uninstalls).
@@ -120,10 +241,18 @@ func (e *Engine) FreeListDrops() uint64 { return e.freeDrops }
 // the hook must not schedule or cancel events.
 func (e *Engine) SetHook(fn func(now Time, pending int)) { e.hook = fn }
 
-// less orders events by (time, insertion sequence).
+// less orders events by (time, domain, insertion sequence). The domain
+// tie-break at equal times is what makes the order shard-independent:
+// every domain's events live in exactly one shard, so each shard pops
+// its own events in globally consistent key order and equal-time events
+// from different domains never race — the serial engine resolves them
+// by dom just as the barrier does.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.dom != b.dom {
+		return a.dom < b.dom
 	}
 	return a.seq < b.seq
 }
@@ -197,12 +326,19 @@ func (e *Engine) popMin() *event {
 }
 
 // alloc claims a recycled event struct (or allocates a fresh one),
-// stamps it with at and the next sequence number, and pushes it on the
-// heap. Shared by the closure and typed scheduling APIs so tie-breaking
-// seq order is identical no matter which API scheduled an event.
-func (e *Engine) alloc(at Time) *event {
+// stamps it with at, dom, and the next sequence number, and pushes it
+// on the heap. Shared by the closure and typed scheduling APIs so
+// tie-breaking seq order is identical no matter which API scheduled an
+// event. A shard engine refuses dom-0 (global-domain) events: global
+// events must stay on the root engine, where the coordinator runs them
+// serially at barriers — the same relative order a serial run gives
+// them — so any dom-0 schedule on a shard is a wiring bug.
+func (e *Engine) alloc(at Time, dom int32) *event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v, before now %v", at, e.now))
+	}
+	if dom == 0 && e.shardIdx >= 0 {
+		panic("sim: dom-0 (global) event scheduled on a shard engine; global timers must run on the root engine")
 	}
 	var ev *event
 	if n := len(e.free); n > 0 {
@@ -212,6 +348,7 @@ func (e *Engine) alloc(at Time) *event {
 		ev = &event{}
 	}
 	ev.at = at
+	ev.dom = dom
 	ev.seq = e.nextSeq
 	ev.canceled = false
 	e.nextSeq++
@@ -219,26 +356,42 @@ func (e *Engine) alloc(at Time) *event {
 	return ev
 }
 
-// At schedules fn to run at absolute time at. Scheduling in the past
-// panics: it always indicates a logic bug in a model. Each call stores
-// a closure; per-packet schedulers should use At2 instead, which is
-// allocation-free.
-func (e *Engine) At(at Time, fn Handler) EventID {
-	ev := e.alloc(at)
+// At schedules fn to run at absolute time at, in the global domain
+// (dom 0). Scheduling in the past panics: it always indicates a logic
+// bug in a model. Each call stores a closure; per-packet schedulers
+// should use At2 instead, which is allocation-free.
+func (e *Engine) At(at Time, fn Handler) EventID { return e.AtD(0, at, fn) }
+
+// AtD schedules fn at absolute time at in scheduling domain dom.
+// Component code whose closures run on a shard engine must pass the
+// owning component's domain so the event keys stay shard-independent.
+func (e *Engine) AtD(dom int32, at Time, fn Handler) EventID {
+	ev := e.alloc(at, dom)
 	ev.fn = fn
 	return EventID{ev, ev.seq}
 }
 
-// After schedules fn to run d from now.
-func (e *Engine) After(d Duration, fn Handler) EventID { return e.At(e.now+d, fn) }
+// After schedules fn to run d from now (global domain).
+func (e *Engine) After(d Duration, fn Handler) EventID { return e.AtD(0, e.now+d, fn) }
 
-// At2 schedules the typed event h(obj, aux, arg) at absolute time at.
-// The triple is stored inline in the recycled event struct, so — given
-// a package-level h and pointer-typed obj/aux — scheduling allocates
-// nothing in steady state. Ordering is identical to At: events fire in
-// (time, seq) order with seq assigned across both APIs by call order.
+// AfterD schedules fn to run d from now in scheduling domain dom.
+func (e *Engine) AfterD(dom int32, d Duration, fn Handler) EventID {
+	return e.AtD(dom, e.now+d, fn)
+}
+
+// At2 schedules the typed event h(obj, aux, arg) at absolute time at in
+// the global domain. The triple is stored inline in the recycled event
+// struct, so — given a package-level h and pointer-typed obj/aux —
+// scheduling allocates nothing in steady state. Ordering is identical
+// to At: events fire in (time, dom, seq) order with seq assigned across
+// both APIs by call order.
 func (e *Engine) At2(at Time, h Handler2, obj, aux any, arg uint64) EventID {
-	ev := e.alloc(at)
+	return e.At2D(0, at, h, obj, aux, arg)
+}
+
+// At2D is At2 with an explicit scheduling domain.
+func (e *Engine) At2D(dom int32, at Time, h Handler2, obj, aux any, arg uint64) EventID {
+	ev := e.alloc(at, dom)
 	ev.h = h
 	ev.obj = obj
 	ev.aux = aux
@@ -246,9 +399,32 @@ func (e *Engine) At2(at Time, h Handler2, obj, aux any, arg uint64) EventID {
 	return EventID{ev, ev.seq}
 }
 
-// After2 schedules the typed event h(obj, aux, arg) to run d from now.
+// After2 schedules the typed event h(obj, aux, arg) to run d from now
+// (global domain).
 func (e *Engine) After2(d Duration, h Handler2, obj, aux any, arg uint64) EventID {
-	return e.At2(e.now+d, h, obj, aux, arg)
+	return e.At2D(0, e.now+d, h, obj, aux, arg)
+}
+
+// After2D is After2 with an explicit scheduling domain.
+func (e *Engine) After2D(dom int32, d Duration, h Handler2, obj, aux any, arg uint64) EventID {
+	return e.At2D(dom, e.now+d, h, obj, aux, arg)
+}
+
+// Post schedules the typed event h(obj, aux, arg) at absolute time at
+// in domain dom on engine dst, which may belong to another shard. On
+// the same engine it is a plain At2D; across engines the event is held
+// in e's outbox and injected into dst's heap at the next epoch barrier,
+// in deterministic (shard, emission) order, with a seq assigned by dst.
+// Cross-shard events are not cancelable, so Post returns nothing —
+// callers needing an EventID must be same-engine by construction.
+// Conservative-window lookahead guarantees at >= dst's window end, so
+// barrier injection never schedules into dst's past.
+func (e *Engine) Post(dst *Engine, dom int32, at Time, h Handler2, obj, aux any, arg uint64) {
+	if dst == e {
+		e.At2D(dom, at, h, obj, aux, arg)
+		return
+	}
+	e.outbox = append(e.outbox, post{dst: dst, at: at, h: h, obj: obj, aux: aux, arg: arg, dom: dom})
 }
 
 // Step executes the next event. It returns false when the queue is empty.
@@ -260,6 +436,8 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
+		e.curDom = ev.dom
+		e.curSeq = ev.seq
 		fn, h := ev.fn, ev.h
 		obj, aux, arg := ev.obj, ev.aux, ev.arg
 		e.recycle(ev)
@@ -301,8 +479,57 @@ func (e *Engine) recycle(ev *event) {
 	}
 }
 
+// peekNext returns the timestamp of the next live event, recycling any
+// canceled events that have bubbled to the heap top, or Forever when
+// the heap is empty.
+func (e *Engine) peekNext() Time {
+	for len(e.heap) > 0 {
+		if e.heap[0].canceled {
+			e.recycle(e.popMin())
+			continue
+		}
+		return e.heap[0].at
+	}
+	return Forever
+}
+
+// runWindow executes every event with timestamp < end, then advances
+// the clock to clockTo if it is still behind. The shard coordinator
+// calls it concurrently on disjoint shard engines; each call touches
+// only e's own state.
+func (e *Engine) runWindow(end, clockTo Time) {
+	for {
+		for len(e.heap) > 0 && e.heap[0].canceled {
+			e.recycle(e.popMin())
+		}
+		if len(e.heap) == 0 || e.heap[0].at >= end {
+			break
+		}
+		e.Step()
+	}
+	if e.now < clockTo {
+		e.now = clockTo
+	}
+}
+
+// runInstant executes every event with timestamp exactly t (there must
+// be at least one), including events those events schedule back at t.
+func (e *Engine) runInstant(t Time) {
+	for e.peekNext() == t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
 // Run executes events until the queue is exhausted.
 func (e *Engine) Run() {
+	e.firePreRun()
+	if g := e.group; g != nil && g.root == e {
+		g.run(Forever)
+		return
+	}
 	for e.Step() {
 	}
 }
@@ -310,6 +537,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to deadline (if the simulation hasn't already passed it).
 func (e *Engine) RunUntil(deadline Time) {
+	e.firePreRun()
+	if g := e.group; g != nil && g.root == e {
+		g.run(deadline)
+		return
+	}
 	for len(e.heap) > 0 {
 		next := e.heap[0]
 		if next.canceled {

@@ -1,0 +1,159 @@
+package sim
+
+import "testing"
+
+// ppRec is one executed model event: its time and a tag. Sequence
+// numbers are deliberately not compared — they are engine-local under
+// sharding; what must match is each domain's (time, tag) history.
+type ppRec struct {
+	at  Time
+	tag uint64
+}
+
+// ppModel wires k domains that each run a local timer chain and
+// periodically post an event to the next domain round-robin, with all
+// cross-domain posts landing >= look in the future (the lookahead
+// contract a cut link's propagation delay provides in netem). Records
+// are kept per domain so each slice has a single writer even when
+// domains run on different shard goroutines.
+type ppModel struct {
+	recs    [][]ppRec
+	ticks   []int
+	engines []*Engine // engine owning each dom (index dom-1)
+	look    Duration
+	stopAt  Time
+}
+
+// visitBit marks a one-shot cross-domain event (records, no respawn).
+const visitBit = 0x100
+
+func ppTick(obj, aux any, arg uint64) {
+	m := obj.(*ppModel)
+	dom := int32(arg &^ visitBit)
+	e := m.engines[dom-1]
+	now := e.Now()
+	m.recs[dom-1] = append(m.recs[dom-1], ppRec{now, arg})
+	if arg&visitBit != 0 || now >= m.stopAt {
+		return
+	}
+	// Perpetuate this dom's single local chain (dom-specific stride so
+	// shard windows drift apart).
+	m.ticks[dom-1]++
+	e.At2D(dom, now+Duration(1+int64(dom)), ppTick, m, nil, arg)
+	// Every 5th tick, post a one-shot visit to the next dom, one
+	// lookahead out — the cross-shard mailbox path.
+	if m.ticks[dom-1]%5 == 0 {
+		next := dom%int32(len(m.engines)) + 1
+		e.Post(m.engines[next-1], next, now+m.look, ppTick, m, nil, uint64(next)|visitBit)
+	}
+}
+
+func (m *ppModel) run(shards int) [][]ppRec {
+	const k = 3 // domains
+	root := New(1)
+	m.engines = nil
+	m.recs = make([][]ppRec, k)
+	m.ticks = make([]int, k)
+	var g *ShardGroup
+	if shards > 1 {
+		g = NewShardGroup(root, shards, m.look)
+		for d := 1; d <= k; d++ {
+			g.AssignDom(int32(d), (d-1)%shards)
+			m.engines = append(m.engines, g.Shard((d-1)%shards))
+		}
+	} else {
+		for d := 1; d <= k; d++ {
+			m.engines = append(m.engines, root)
+		}
+	}
+	// Seed events are scheduled on the root either way; under sharding
+	// they must migrate to their shards at Activate.
+	for d := 1; d <= k; d++ {
+		root.At2D(int32(d), Time(d), ppTick, m, nil, uint64(d))
+	}
+	if g != nil {
+		g.Activate()
+	}
+	root.RunUntil(m.stopAt + 10*m.look)
+	return m.recs
+}
+
+// TestShardGroupMatchesSerial checks that a sharded run reproduces the
+// serial run's per-domain event history exactly — times, tags, counts —
+// including events migrated from the root heap at activation and
+// events injected through cross-shard outboxes at barriers.
+func TestShardGroupMatchesSerial(t *testing.T) {
+	serial := (&ppModel{look: 40, stopAt: 2000}).run(1)
+	for _, shards := range []int{2, 3} {
+		sharded := (&ppModel{look: 40, stopAt: 2000}).run(shards)
+		for d := range serial {
+			if len(serial[d]) == 0 {
+				t.Fatalf("serial dom %d recorded nothing", d+1)
+			}
+			if len(sharded[d]) != len(serial[d]) {
+				t.Fatalf("shards=%d dom %d: %d records vs %d serial",
+					shards, d+1, len(sharded[d]), len(serial[d]))
+			}
+			for i := range serial[d] {
+				if sharded[d][i] != serial[d][i] {
+					t.Fatalf("shards=%d dom %d: record %d = %+v, want %+v",
+						shards, d+1, i, sharded[d][i], serial[d][i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardGroupRootBarrier checks that dom-0 (root) events run with
+// every shard clock advanced to the event's instant, and before
+// same-time shard events.
+func TestShardGroupRootBarrier(t *testing.T) {
+	root := New(3)
+	g := NewShardGroup(root, 2, 100)
+	g.AssignDom(1, 0)
+	g.AssignDom(2, 1)
+	var order []string
+	// One event per shard at t=500, writing to distinct slots so the
+	// two worker goroutines never share a variable.
+	var s1At, s2At Time
+	root.At2D(1, 500, func(obj, aux any, arg uint64) { s1At = g.Shard(0).Now() }, nil, nil, 0)
+	root.At2D(2, 500, func(obj, aux any, arg uint64) { s2At = g.Shard(1).Now() }, nil, nil, 0)
+	// Root event at the same instant must run first and see both shard
+	// clocks at exactly 500.
+	root.At(500, func() {
+		if n0, n1 := g.Shard(0).Now(), g.Shard(1).Now(); n0 != 500 || n1 != 500 {
+			t.Errorf("root event at 500 sees shard clocks %v, %v", n0, n1)
+		}
+		if s1At != 0 || s2At != 0 {
+			t.Error("shard events ran before the same-time root event")
+		}
+		order = append(order, "root")
+	})
+	g.Activate()
+	root.RunUntil(1000)
+	if len(order) != 1 || order[0] != "root" {
+		t.Fatalf("root event did not run exactly once: %v", order)
+	}
+	if s1At != 500 || s2At != 500 {
+		t.Fatalf("shard events ran at %v/%v, want 500", s1At, s2At)
+	}
+	if root.Now() != 1000 || g.Shard(0).Now() != 1000 {
+		t.Fatalf("clocks after RunUntil: root %v shard0 %v, want 1000", root.Now(), g.Shard(0).Now())
+	}
+	if got := root.Executed(); got != 3 {
+		t.Fatalf("aggregated Executed = %d, want 3", got)
+	}
+}
+
+// TestShardDom0Refused pins the guard that keeps global timers off
+// shard engines.
+func TestShardDom0Refused(t *testing.T) {
+	root := New(5)
+	g := NewShardGroup(root, 2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling a dom-0 event on a shard engine did not panic")
+		}
+	}()
+	g.Shard(0).At(1, func() {})
+}

@@ -91,8 +91,6 @@ type Conn struct {
 	Cfg  ConnConfig
 	CC   CC
 
-	eng *sim.Engine
-
 	// Sender state. Sequence numbers are payload byte offsets.
 	Cwnd         float64   // window in packets (ModeWindow)
 	PaceRate     unit.Rate // current rate (ModePaced)
@@ -150,9 +148,8 @@ func NewConn(f *Flow, cc CC, cfg ConnConfig) *Conn {
 	c := &Conn{
 		Flow: f,
 		Cfg:  cfg,
-		CC:   cc,
-		eng:  f.Sender.Engine(),
 		Cwnd: cfg.InitCwnd,
+		CC:   cc,
 		ooo:  make(map[int64]unit.Bytes),
 		rng:  f.Sender.Rand().Fork(),
 	}
@@ -161,9 +158,16 @@ func NewConn(f *Flow, cc CC, cfg ConnConfig) *Conn {
 	} else {
 		c.PaceRate = cfg.InitRate
 	}
+	// Both connection halves mutate shared Conn state (the ooo map, the
+	// ack counters), and experiments dial connections mid-run — after a
+	// sharded topology is already cut, too late to colocate the
+	// endpoints. Networks carrying Conn transports therefore run
+	// serial; the sharded mode targets ExpressPass sessions, whose
+	// endpoint halves are independent.
+	f.Sender.Network().RequireSerial()
 	f.Sender.Register(f.ID, connSender{c})
 	f.Receiver.Register(f.ID, connReceiver{c})
-	c.eng.At2(f.StartAt, connStart, c, nil, 0)
+	f.Sender.Engine().At2D(f.Sender.Dom(), f.StartAt, connStart, c, nil, 0)
 	return c
 }
 
@@ -191,8 +195,10 @@ func (c *Conn) Stop() {
 	c.Flow.Receiver.Unregister(c.Flow.ID)
 }
 
-// Engine returns the simulation engine (for CC implementations).
-func (c *Conn) Engine() *sim.Engine { return c.eng }
+// Engine returns the simulation engine executing this connection's
+// events (for CC implementations). Fetched through the sender host so
+// it stays correct after the network partitions into shards.
+func (c *Conn) Engine() *sim.Engine { return c.Flow.Sender.Engine() }
 
 // Stopped reports whether Stop was called (CC timers use this to end
 // their self-rescheduling).
@@ -264,7 +270,7 @@ func (c *Conn) paceNext() {
 		c.PaceRate = c.Flow.Sender.LineRate() / 1000
 	}
 	gap := unit.TxTime(unit.MaxFrame, c.PaceRate)
-	c.paceTimer = c.eng.After2(gap, connPaceNext, c, nil, 0)
+	c.paceTimer = c.Engine().After2D(c.Flow.Sender.Dom(), gap, connPaceNext, c, nil, 0)
 }
 
 // emitSegment sends the segment at sendPoint and advances it.
@@ -300,12 +306,13 @@ func (c *Conn) sendSegmentAt(seq int64) unit.Bytes {
 	}
 	c.SentSegments++
 	if c.Cfg.TxJitter > 0 {
-		at := c.eng.Now() + c.rng.Range(0, c.Cfg.TxJitter)
+		eng := c.Engine()
+		at := eng.Now() + c.rng.Range(0, c.Cfg.TxJitter)
 		if at <= c.lastTx {
 			at = c.lastTx + 1
 		}
 		c.lastTx = at
-		c.eng.At2(at, connSend, c, p, 0)
+		eng.At2D(c.Flow.Sender.Dom(), at, connSend, c, p, 0)
 	} else {
 		c.Flow.Sender.Send(p)
 	}
@@ -315,7 +322,7 @@ func (c *Conn) sendSegmentAt(seq int64) unit.Bytes {
 // ---- receiver side ----
 
 func (c *Conn) onDataPacket(p *packet.Packet) {
-	now := c.eng.Now()
+	now := c.Flow.Receiver.Engine().Now()
 	delay := now - p.SentAt
 	ce := p.CE
 	rcpStamp := p.RCPRate
@@ -451,7 +458,7 @@ func (c *Conn) rto() sim.Duration {
 
 func (c *Conn) armRTO() {
 	c.rtoTimer.Cancel()
-	c.rtoTimer = c.eng.After2(c.rto(), connOnRTO, c, nil, 0)
+	c.rtoTimer = c.Engine().After2D(c.Flow.Sender.Dom(), c.rto(), connOnRTO, c, nil, 0)
 }
 
 func (c *Conn) onRTO() {
