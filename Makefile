@@ -95,6 +95,12 @@ bench-quick:
 ## half is the observability budget gate: a fully-traced fig18 sweep
 ## must average at most OBS_BYTES_BUDGET trace bytes per event and
 ## peak below OBS_RSS_BUDGET_MB of RSS (see TestObsBudgetGate).
+## The final stage is the lifecycle RSS gate: one lifecycle-managed
+## scale=LIFECYCLE_SCALE realistic cell (≈47k WebServer flows at the
+## default 0.5) must peak below LIFECYCLE_RSS_BUDGET_MB of RSS — lazy
+## dialing plus retirement keeps the footprint proportional to the
+## concurrently-active flow population (see TestLifecycleRSSGate and
+## BENCH_8.json for the 1155→44 MB before/after at scale=1.0).
 ## HOTPATH_EVRATE_FLOOR guards throughput the same way the alloc budget
 ## guards the heap: the same BenchmarkHotPath run must sustain at least
 ## this many sim-events/sec (default 80% of the rate recorded after the
@@ -103,6 +109,8 @@ HOTPATH_ALLOC_BUDGET ?= 0
 HOTPATH_EVRATE_FLOOR ?= 9202272
 OBS_BYTES_BUDGET ?= 160
 OBS_RSS_BUDGET_MB ?= 256
+LIFECYCLE_RSS_BUDGET_MB ?= 256
+LIFECYCLE_SCALE ?= 0.5
 bench-gate:
 	@out=$$(go test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 200x .) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
@@ -122,6 +130,11 @@ bench-gate:
 		XPSIM_OBS_RSS_BUDGET_MB=$(OBS_RSS_BUDGET_MB) \
 		go test -run '^TestObsBudgetGate$$' -count=1 -v -timeout 30m .
 	@echo "bench-gate: obs budget OK"
+	XPSIM_LIFECYCLE_RSS_BUDGET=$(LIFECYCLE_RSS_BUDGET_MB) \
+		XPSIM_LIFECYCLE_SCALE=$(LIFECYCLE_SCALE) \
+		go test -run '^TestLifecycleRSSGate$$' -count=1 -v -timeout 30m \
+		./internal/experiments
+	@echo "bench-gate: lifecycle RSS budget OK"
 
 fmt:
 	gofmt -w $(GOFILES)

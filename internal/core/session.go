@@ -19,6 +19,11 @@ type Session struct {
 
 	snd *sender
 	rcv *receiver
+
+	// gaugePrefix remembers the per-flow gauge names registered by
+	// initObs ("" when none were claimed) so Retire can unregister them
+	// and refund the network's flow-gauge budget.
+	gaugePrefix string
 }
 
 // Dial wires a session for f and schedules its start at f.StartAt. The
@@ -93,6 +98,7 @@ func (s *Session) initObs() {
 	}
 	if fr := f.Sender.ClaimFlowMetrics(); fr != nil {
 		pre := "flow/" + strconv.FormatInt(int64(f.ID), 10) + "/"
+		s.gaugePrefix = pre
 		fb, snd := s.rcv.fb, s.snd
 		fr.Gauge(pre+"rate_gbps", func() float64 { return fb.Rate.Gbits() })
 		fr.Gauge(pre+"w", func() float64 { return fb.W })
@@ -100,6 +106,10 @@ func (s *Session) initObs() {
 		fr.Gauge(pre+"credits_wasted", func() float64 { return float64(snd.creditsWasted) })
 	}
 }
+
+// flowGaugeSuffixes are the per-flow gauges initObs registers under the
+// session's gaugePrefix; Retire unregisters exactly this set.
+var flowGaugeSuffixes = [...]string{"rate_gbps", "w", "delivered_bytes", "credits_wasted"}
 
 // Stop tears the session down and unregisters both endpoints.
 func (s *Session) Stop() {
@@ -111,6 +121,44 @@ func (s *Session) Stop() {
 	s.snd.gotCredit = true // suppress request retries
 	s.Flow.Sender.Unregister(s.Flow.ID)
 	s.Flow.Receiver.Unregister(s.Flow.ID)
+}
+
+// Quiesced reports whether the session has wound down on its own: the
+// flow delivered every byte, the receiver's credit loop stopped (the
+// CREDIT_STOP arrived — a lost stop leaves the receiver active and the
+// session non-quiesced until the Fig 7a retry arc lands one), and no
+// timer on either endpoint is pending. Tearing down a quiesced session
+// cancels nothing that would have fired, so retirement cannot change
+// the simulation's future — the property the lifecycle reaper relies on
+// for serial/parallel/sharded byte-identity. Callers should still allow
+// a grace period past FinishTime before retiring so stray in-flight
+// credits land while the sender is registered and the Fig 20 waste
+// accounting matches a run that never retires.
+func (s *Session) Quiesced() bool {
+	return s.Flow.Finished && !s.rcv.active &&
+		!s.snd.reqTimer.Pending() && !s.snd.stopTimer.Pending() &&
+		!s.snd.idleTimer.Pending() && !s.rcv.nackTimer.Pending() &&
+		!s.rcv.creditTimer.Pending() && !s.rcv.tickTimer.Pending()
+}
+
+// Retire stops the session and releases its observability footprint:
+// per-flow gauges leave the metrics registry and the network's
+// flow-gauge budget is refunded, so a long run's gauge set tracks live
+// flows instead of growing without bound. After Retire the session
+// holds no registrations and schedules no events; dropping the last
+// reference makes it collectable.
+func (s *Session) Retire() {
+	s.Stop()
+	if s.gaugePrefix == "" {
+		return
+	}
+	if r := s.Flow.Sender.Metrics(); r != nil {
+		for _, suf := range flowGaugeSuffixes {
+			r.Unregister(s.gaugePrefix + suf)
+		}
+	}
+	s.Flow.Sender.Network().ReleaseFlowMetrics()
+	s.gaugePrefix = ""
 }
 
 // CreditsSent returns credits emitted by the receiver.

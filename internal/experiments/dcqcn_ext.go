@@ -5,12 +5,14 @@ import (
 	"io"
 
 	"expresspass/internal/core"
+	"expresspass/internal/lifecycle"
 	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
 	"expresspass/internal/topology"
 	"expresspass/internal/transport"
 	"expresspass/internal/unit"
+	"expresspass/internal/workload"
 )
 
 // ---- ext-dcqcn: ExpressPass vs DCQCN-over-PFC under incast ----
@@ -36,20 +38,37 @@ func runExtDCQCN(p Params, w io.Writer) error {
 		env := &Env{Eng: eng, Net: st.Net, BaseRTT: 30 * sim.Microsecond,
 			XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
 			Conn: transport.ConnConfig{}}
-		var flows []*transport.Flow
-		for i := 0; i < fanout; i++ {
-			f := transport.NewFlow(st.Net, st.Hosts[1+i%16], st.Hosts[0],
-				256*unit.KB, sim.Duration(i)*200*sim.Nanosecond)
-			flows = append(flows, f)
-			env.Dial(proto, f)
+		if proto != ProtoExpressPass {
+			// DCQCN dials transport.Conns lazily; pre-declare the
+			// serial-only machinery before any -shards partitioning.
+			st.Net.RequireSerial()
 		}
+		specs := make([]workload.FlowSpec, fanout)
+		for i := range specs {
+			specs[i] = workload.FlowSpec{Src: 1 + i%16, Dst: 0,
+				Size: 256 * unit.KB, Start: sim.Time(i) * 200 * sim.Nanosecond}
+		}
+		mgr := lifecycle.NewManager(lifecycle.Config{
+			Engine: eng,
+			Specs:  specs,
+			Dial: func(s workload.FlowSpec, _ int) (*transport.Flow, lifecycle.Handle) {
+				f := transport.NewFlow(st.Net, st.Hosts[s.Src], st.Hosts[s.Dst], s.Size, s.Start)
+				return f, env.Dial(proto, f)
+			},
+			FCTValue: func(f *transport.Flow) float64 { return f.FCT().Seconds() * 1e3 },
+			Grace:    10 * 30 * sim.Microsecond,
+		})
+		mgr.Start()
 		eng.RunUntil(2 * sim.Second)
-		fcts := stats.NewDist()
-		for _, f := range flows {
+		fcts := mgr.FCTs()[""]
+		if fcts == nil {
+			fcts = stats.NewDist()
+		}
+		mgr.ForEachLive(func(f *transport.Flow, _ lifecycle.Handle) {
 			if f.Finished {
 				fcts.Observe(f.FCT().Seconds() * 1e3)
 			}
-		}
+		})
 		var pauses uint64
 		for _, port := range st.Net.AllPorts() {
 			pauses += port.PFCPauses()

@@ -26,7 +26,10 @@ func init() {
 
 func runFig14(p Params, w io.Writer) error {
 	// Parts (a) and (b) are independent measurements, so they run as two
-	// sweep trials whose sections are stitched in order.
+	// sweep trials whose sections are stitched in order. Neither dials
+	// flows — (a) is pure compute against the SoftNIC delay model, (b)
+	// injects raw credit packets — so the lifecycle manager the FCT
+	// experiments use does not apply here.
 	parts := []func(t *runner.T, p Params, w io.Writer) error{runFig14a, runFig14b}
 	return runner.Sweep(len(parts), w, func(t *runner.T, i int, w io.Writer) error {
 		return parts[i](t, p, w)

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"expresspass/internal/core"
+	"expresspass/internal/invariant"
+	"expresspass/internal/lifecycle"
+	"expresspass/internal/obs"
+	"expresspass/internal/packet"
+	"expresspass/internal/runner"
+	"expresspass/internal/sim"
+	"expresspass/internal/stats"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+	"expresspass/internal/workload"
+)
+
+// TestLifecycleRetirementClearsLiveState drives a small Poisson workload
+// through the lifecycle manager with metrics active and checks that
+// retirement actually releases every piece of per-flow live state: the
+// metrics registry holds no flow/* gauges, every host's endpoint demux
+// is empty, and the network passes the standard post-drain invariant
+// audit against the pre-run packet baseline.
+func TestLifecycleRetirementClearsLiveState(t *testing.T) {
+	rt := obs.NewRuntime(obs.Config{MetricsOut: io.Discard})
+	obs.SetActive(rt)
+	defer obs.SetActive(nil)
+
+	eng := sim.New(42)
+	st := topology.NewStar(eng, 8, topology.Config{LinkRate: 10 * unit.Gbps})
+	baseline := packet.Live()
+	rtt := 30 * sim.Microsecond
+	env := &Env{Eng: eng, Net: st.Net, BaseRTT: rtt,
+		XP: core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16}}
+	specs, err := workload.Poisson(eng.Rand().Fork(), workload.PoissonConfig{
+		Hosts: 8, Dist: workload.WebServer(), Load: 0.4,
+		RefRate: 80 * unit.Gbps, Flows: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-flow gauges are named flow/<id>/…; the shared flow/fct_ms
+	// histogram is network-wide and legitimately outlives every flow.
+	perFlowGauge := func(name string) bool {
+		rest, ok := strings.CutPrefix(name, "flow/")
+		if !ok {
+			return false
+		}
+		id, _, ok := strings.Cut(rest, "/")
+		if !ok {
+			return false
+		}
+		_, err := strconv.Atoi(id)
+		return err == nil
+	}
+	sawGauges := false
+	mgr := lifecycle.NewManager(lifecycle.Config{
+		Engine: eng,
+		Specs:  specs,
+		Dial: func(s workload.FlowSpec, _ int) (*transport.Flow, lifecycle.Handle) {
+			f := transport.NewFlow(st.Net, st.Hosts[s.Src], st.Hosts[s.Dst], s.Size, s.Start)
+			h := env.Dial(ProtoExpressPass, f)
+			if !sawGauges {
+				for _, m := range st.Net.Metrics().Snapshot() {
+					if perFlowGauge(m.Name) {
+						sawGauges = true
+						break
+					}
+				}
+			}
+			return f, h
+		},
+		Grace: 10 * rtt,
+	})
+	mgr.Start()
+	eng.RunUntil(specs[len(specs)-1].Start + 4*sim.Second)
+
+	if !mgr.Drained() || mgr.Finished() != len(specs) {
+		t.Fatalf("drained=%v finished=%d/%d", mgr.Drained(), mgr.Finished(), len(specs))
+	}
+	if !sawGauges {
+		t.Error("no per-flow gauges ever registered — the leak check below is vacuous")
+	}
+	for _, m := range st.Net.Metrics().Snapshot() {
+		if perFlowGauge(m.Name) {
+			t.Errorf("gauge %q survived retirement", m.Name)
+		}
+	}
+	for i, h := range st.Hosts {
+		if n := h.ActiveEndpoints(); n != 0 {
+			t.Errorf("host %d demux still holds %d endpoints", i, n)
+		}
+	}
+	for _, v := range invariant.CheckDrained(st.Net, baseline) {
+		t.Errorf("post-drain: %v", v)
+	}
+}
+
+// TestLifecycleRSSGate is the memory-regression gate run by
+// `make bench-gate` (set XPSIM_LIFECYCLE_RSS_BUDGET, in MB; skipped
+// otherwise — one scale=1.0 realistic cell simulates ~94k WebServer
+// flows and takes a few minutes). With lazy dialing and retirement the
+// footprint tracks the few hundred concurrently-active flows, not the
+// run total, so peak RSS must stay under the budget.
+//
+// XPSIM_LIFECYCLE_SCALE overrides the scale (e.g. 10 for the 10× smoke
+// mode — combine with XPSIM_REALISTIC_FLOW_CAP to lift the per-run flow
+// cap). Sketch mode keeps the per-class FCT collectors O(1) in flow
+// count, matching how a million-flow run would be scored.
+func TestLifecycleRSSGate(t *testing.T) {
+	budgetMB := os.Getenv("XPSIM_LIFECYCLE_RSS_BUDGET")
+	if budgetMB == "" {
+		t.Skip("set XPSIM_LIFECYCLE_RSS_BUDGET (MB) to run the lifecycle RSS gate")
+	}
+	budget, err := strconv.Atoi(budgetMB)
+	if err != nil {
+		t.Fatalf("XPSIM_LIFECYCLE_RSS_BUDGET: %v", err)
+	}
+	scale := 1.0
+	if s := os.Getenv("XPSIM_LIFECYCLE_SCALE"); s != "" {
+		if scale, err = strconv.ParseFloat(s, 64); err != nil {
+			t.Fatalf("XPSIM_LIFECYCLE_SCALE: %v", err)
+		}
+	}
+	stats.SetSketchMode(true)
+	defer stats.SetSketchMode(false)
+
+	start := time.Now()
+	res := runner.Map(1, func(rt *runner.T, _ int) realisticResult {
+		// Calling runRealistic directly (rather than Run("fig18", …))
+		// isolates one cell and, for the smoke mode, bypasses the
+		// public-params clamp of Scale to [0.1, 1].
+		return runRealistic(rt, Params{Scale: scale, Seed: 42}, realisticCfg{
+			proto: ProtoExpressPass, dist: workload.WebServer(), load: 0.6,
+			linkRate: 10 * unit.Gbps,
+		})
+	})[0]
+	r := obs.ReadResources()
+	rssMB := float64(r.PeakRSSBytes) / (1 << 20)
+	t.Logf("scale=%g webserver fin=%d/%d (requested %d) wall=%s peakRSS=%.0f MB",
+		scale, res.finished, res.total, res.requested, time.Since(start).Round(time.Second), rssMB)
+	if res.finished != res.total {
+		t.Errorf("only %d of %d flows finished", res.finished, res.total)
+	}
+	if r.PeakRSSBytes == 0 {
+		t.Log("VmHWM unavailable; skipping RSS budget check")
+	} else if rssMB > float64(budget) {
+		t.Errorf("peak RSS %.0f MB exceeds budget %d MB", rssMB, budget)
+	}
+}

@@ -75,12 +75,24 @@ type Env struct {
 	oracle *idealrate.Oracle
 }
 
-// Handle lets experiments stop long-running transports.
-type Handle interface{ Stop() }
+// Handle lets experiments stop long-running transports. Its method set
+// is a superset of lifecycle.Handle, so anything Env.Dial returns can
+// be handed to a lifecycle.Manager for arrival/retirement management.
+type Handle interface {
+	Stop()
+	// Quiesced reports the transport wound down on its own with no
+	// pending timers (see core.Session.Quiesced / transport.Conn.Quiesced).
+	Quiesced() bool
+	// Retire tears the transport down and releases its observability
+	// registrations.
+	Retire()
+}
 
 type connHandle struct{ c *transport.Conn }
 
-func (h connHandle) Stop() { h.c.Stop() }
+func (h connHandle) Stop()          { h.c.Stop() }
+func (h connHandle) Quiesced() bool { return h.c.Quiesced() }
+func (h connHandle) Retire()        { h.c.Retire() }
 
 // Dial attaches the protocol's transport to flow f.
 func (e *Env) Dial(pr Proto, f *transport.Flow) Handle {

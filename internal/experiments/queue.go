@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"expresspass/internal/core"
+	"expresspass/internal/lifecycle"
 	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
@@ -121,30 +122,41 @@ func runFig17(p Params, w io.Writer) error {
 		env := &Env{Eng: eng, Net: st.Net, BaseRTT: rtt,
 			XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
 			Conn: transport.ConnConfig{}}
-		var flows []*transport.Flow
-		for _, s := range specs {
-			f := transport.NewFlow(st.Net, st.Hosts[s.Src], st.Hosts[s.Dst], s.Size, s.Start)
-			flows = append(flows, f)
-			env.Dial(proto, f)
+		if proto != ProtoExpressPass {
+			// Conn-based transports register serial-only machinery at
+			// dial time; declare it before the run so lazy dials don't
+			// trip the post-partition check under -shards.
+			st.Net.RequireSerial()
 		}
+		mgr := lifecycle.NewManager(lifecycle.Config{
+			Engine: eng,
+			Specs:  specs,
+			Dial: func(s workload.FlowSpec, _ int) (*transport.Flow, lifecycle.Handle) {
+				f := transport.NewFlow(st.Net, st.Hosts[s.Src], st.Hosts[s.Dst], s.Size, s.Start)
+				return f, env.Dial(proto, f)
+			},
+			Grace: 10 * rtt,
+		})
+		mgr.Start()
 		// Run to completion (with a generous cap).
 		ideal := float64(bytes) * float64(len(specs)) * 8 /
 			(float64(hosts) * 10e9 * 0.9)
 		cap := sim.Seconds(ideal*20) + 2*sim.Second
 		eng.RunUntil(cap)
-		fcts := stats.NewDist()
-		finished := 0
-		for _, f := range flows {
+		fcts := mgr.FCTs()[""]
+		if fcts == nil {
+			fcts = stats.NewDist()
+		}
+		mgr.ForEachLive(func(f *transport.Flow, _ lifecycle.Handle) {
 			if f.Finished {
-				finished++
 				fcts.Observe(f.FCT().Seconds())
 			}
-		}
+		})
 		s := fcts.Summary()
 		return []any{string(proto),
 			fmt.Sprintf("%.4gs", s.P50), fmt.Sprintf("%.4gs", s.P99),
 			fmt.Sprintf("%.4gs", s.Max), st.Net.TotalDataDrops(),
-			fmt.Sprintf("%d/%d", finished, len(flows))}
+			fmt.Sprintf("%d/%d", mgr.Finished(), mgr.Total())}
 	})
 	tbl := NewTable("proto", "median FCT", "99% FCT", "max FCT", "drops", "finished")
 	for _, row := range rows {

@@ -3,8 +3,11 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 
 	"expresspass/internal/core"
+	"expresspass/internal/lifecycle"
 	"expresspass/internal/runner"
 	"expresspass/internal/sim"
 	"expresspass/internal/stats"
@@ -30,9 +33,13 @@ type realisticCfg struct {
 // mode (stats.SetSketchMode) bounds memory at O(1) per class for the
 // 100k-flow paper-scale runs.
 type realisticResult struct {
-	fctByClass  map[string]*stats.Dist // size class → FCT seconds
-	finished    int
-	total       int
+	fctByClass map[string]*stats.Dist // size class → FCT seconds
+	finished   int
+	total      int // flows actually generated and dialed
+	// requested is the flow count the volume budget implied before the
+	// generator cap clamped it; requested > total means the run was
+	// truncated (the clamp is also logged to stderr).
+	requested   int
 	creditRecv  uint64
 	creditWaste uint64
 	dataDrops   uint64
@@ -82,21 +89,33 @@ func runRealistic(t *runner.T, p Params, rc realisticCfg) realisticResult {
 	// Total volume budget keeps run times bounded at small scale while
 	// scale=1 reproduces the paper's 100k-flow runs.
 	budget := unit.Bytes(float64(6*unit.GB) * p.Scale * float64(rc.linkRate) / float64(10*unit.Gbps))
-	flows := int(float64(budget) / float64(rc.dist.Mean()))
-	if flows < 150 {
-		flows = 150
+	requested := int(float64(budget) / float64(rc.dist.Mean()))
+	if requested < 150 {
+		requested = 150
 	}
-	if flows > 100000 {
-		flows = 100000
+	flows := requested
+	if flows > realisticFlowCap() {
+		flows = realisticFlowCap()
+		// The clamp used to be silent, so "fin N/N" could hide that the
+		// budget asked for far more flows than ran. Report to stderr —
+		// never stdout, which the determinism gates byte-compare.
+		fmt.Fprintf(os.Stderr,
+			"realistic: %s load=%.2g rate=%v: volume budget implies %d flows; clamped to cap %d (override: %s)\n",
+			rc.dist.Name, rc.load, rc.linkRate, requested, flows, realisticFlowCapEnv)
 	}
 
-	specs := workload.Poisson(eng.Rand().Fork(), workload.PoissonConfig{
+	specs, err := workload.Poisson(eng.Rand().Fork(), workload.PoissonConfig{
 		Hosts: len(hosts), Dist: rc.dist,
 		Load:    rc.load / pCross,
 		RefRate: uplink,
 		Flows:   flows,
 		Start:   time0,
 	})
+	if err != nil {
+		// Hosts/dist/load are fixed by the experiment table; an invalid
+		// config is a bug in this file, not a runtime condition.
+		panic(err)
+	}
 
 	alpha, winit := rc.alpha, rc.winit
 	if alpha == 0 {
@@ -109,53 +128,62 @@ func runRealistic(t *runner.T, p Params, rc realisticCfg) realisticResult {
 		XP:   core.Config{Alpha: alpha, WInit: winit, BaseRTT: baseRTT},
 		Conn: transport.ConnConfig{}}
 
-	res := realisticResult{fctByClass: map[string]*stats.Dist{}, total: len(specs)}
-	var sessions []*core.Session
-	var all []*transport.Flow
-	for _, s := range specs {
-		f := transport.NewFlow(ot.Net, hosts[s.Src], hosts[s.Dst], s.Size, s.Start)
-		all = append(all, f)
-		h := env.Dial(rc.proto, f)
-		if sess, ok := h.(*core.Session); ok {
-			sessions = append(sessions, sess)
-		}
+	if rc.proto != ProtoExpressPass {
+		// Conn-based baselines dial mid-run under the lifecycle manager,
+		// after the topology would have partitioned — transport.NewConn's
+		// RequireSerial would panic then. Pre-declare serial before the
+		// first run instead (the same execution shape those transports
+		// forced when they were all dialed up front).
+		ot.Net.RequireSerial()
 	}
 
-	// Run until (nearly) all flows finish, bounded by a generous cap.
-	deadline := specs[len(specs)-1].Start + 4*sim.Second
-	for eng.Now() < deadline {
-		eng.RunFor(20 * sim.Millisecond)
-		done := 0
-		for _, f := range all {
-			if f.Finished {
-				done++
+	res := realisticResult{total: len(specs), requested: requested}
+	mgr := lifecycle.NewManager(lifecycle.Config{
+		Engine: eng,
+		Specs:  specs,
+		Dial: func(s workload.FlowSpec, _ int) (*transport.Flow, lifecycle.Handle) {
+			f := transport.NewFlow(ot.Net, hosts[s.Src], hosts[s.Dst], s.Size, s.Start)
+			return f, env.Dial(rc.proto, f)
+		},
+		Class: func(f *transport.Flow) string { return workload.SizeClass(f.Size) },
+		OnRetire: func(_ *transport.Flow, h lifecycle.Handle) {
+			if s, ok := h.(*core.Session); ok {
+				res.creditRecv += s.CreditsReceived()
+				res.creditWaste += s.CreditsWasted()
 			}
-		}
-		if done >= len(all) {
-			break
-		}
-		if eng.Pending() == 0 {
-			break
-		}
-	}
+		},
+		Grace: 10 * baseRTT,
+	})
+	mgr.Start()
 
-	for _, f := range all {
-		if !f.Finished {
-			continue
+	// Run until every flow retires (the reaper stops re-arming and the
+	// engine drains), bounded by a generous deadline for runs where some
+	// flows never complete. No per-20ms rescan: completion is the
+	// manager's O(1) counter, termination is the engine draining.
+	deadline := specs[len(specs)-1].Start + 4*sim.Second
+	eng.RunUntil(deadline)
+
+	res.finished = mgr.Finished()
+	res.fctByClass = mgr.FCTs()
+	// Stragglers the reaper had not retired when the run ended: flows
+	// that never finished, plus any that finished inside the final
+	// grace window. Fold their FCTs and credit counters the same way
+	// retirement would have.
+	mgr.ForEachLive(func(f *transport.Flow, h lifecycle.Handle) {
+		if f.Finished {
+			cls := workload.SizeClass(f.Size)
+			d := res.fctByClass[cls]
+			if d == nil {
+				d = stats.NewDist()
+				res.fctByClass[cls] = d
+			}
+			d.Observe(f.FCT().Seconds())
 		}
-		res.finished++
-		cls := workload.SizeClass(f.Size)
-		d := res.fctByClass[cls]
-		if d == nil {
-			d = stats.NewDist()
-			res.fctByClass[cls] = d
+		if s, ok := h.(*core.Session); ok {
+			res.creditRecv += s.CreditsReceived()
+			res.creditWaste += s.CreditsWasted()
 		}
-		d.Observe(f.FCT().Seconds())
-	}
-	for _, s := range sessions {
-		res.creditRecv += s.CreditsReceived()
-		res.creditWaste += s.CreditsWasted()
-	}
+	})
 	res.dataDrops = ot.Net.TotalDataDrops()
 
 	now := eng.Now()
@@ -182,6 +210,20 @@ func runRealistic(t *runner.T, p Params, rc realisticCfg) realisticResult {
 // time0 lets the Poisson process start slightly after zero so dial-time
 // events order deterministically.
 const time0 = 10 * sim.Microsecond
+
+// realisticFlowCapEnv overrides the per-run flow-count cap (default
+// 100000, the paper's run size). The 10× smoke mode raises it to run
+// millions of flows through the lifecycle manager.
+const realisticFlowCapEnv = "XPSIM_REALISTIC_FLOW_CAP"
+
+func realisticFlowCap() int {
+	if s := os.Getenv(realisticFlowCapEnv); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 100000
+}
 
 // ---- Fig 18: FCT sensitivity to α and w_init ----
 

@@ -152,6 +152,12 @@ func (c *Checker) Record(ev obs.Event) {
 			c.onFaultStart(ev)
 		case obs.EvRouteBuild:
 			c.voided = true
+		case obs.EvFlowRetire:
+			// The network returned this flow ID to its free pool; a
+			// later dial may reuse it. Drop the retired flow's credit
+			// ledger so the successor starts clean — otherwise a reused
+			// (id, seq) pair would false-trip the dup-delivery check.
+			delete(c.flows, ev.Flow)
 		}
 	}
 	if c.prior != nil {

@@ -172,7 +172,15 @@ func (h *Host) Register(flow packet.FlowID, ep Endpoint) {
 		if n <= cap(h.eps) {
 			h.eps = h.eps[:n]
 		} else {
-			grown := make([]Endpoint, n)
+			// Grow geometrically: flow IDs arrive in near-monotonic
+			// order when the pool isn't recycling, and exact-size
+			// reallocation would copy the whole table on every new
+			// high-water ID.
+			c := 2 * cap(h.eps)
+			if c < n {
+				c = n
+			}
+			grown := make([]Endpoint, n, c)
 			copy(grown, h.eps)
 			h.eps = grown
 		}
@@ -185,6 +193,20 @@ func (h *Host) Unregister(flow packet.FlowID) {
 	if uint64(flow) < uint64(len(h.eps)) {
 		h.eps[flow] = nil
 	}
+}
+
+// ActiveEndpoints counts flows currently registered at this host. Flow
+// retirement tests use it to assert the demux table drained; the slice
+// itself keeps its high-water length (entries are nil, not freed), so
+// the count — not len — is the leak signal.
+func (h *Host) ActiveEndpoints() int {
+	n := 0
+	for _, ep := range h.eps {
+		if ep != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Send transmits pkt out the host NIC, stamping the send time.

@@ -57,13 +57,25 @@ func (n *Network) Metrics() *obs.Registry { return n.metrics }
 // ClaimFlowMetrics returns the registry a flow may register per-flow
 // gauges in, or nil when metrics are off or the per-network flow
 // budget (Runtime.FlowMetricsCap) is exhausted. The budget keeps CSV
-// volume sane on many-thousand-flow workloads.
+// volume sane on many-thousand-flow workloads; paired with
+// ReleaseFlowMetrics on retirement it caps *concurrent* instrumented
+// flows, so a lifecycle-managed million-flow run still gets per-flow
+// gauges for the first FlowMetricsCap flows alive at any instant.
 func (n *Network) ClaimFlowMetrics() *obs.Registry {
 	if n.metrics == nil || n.flowMetricsLeft <= 0 {
 		return nil
 	}
 	n.flowMetricsLeft--
 	return n.metrics
+}
+
+// ReleaseFlowMetrics refunds one claim made through ClaimFlowMetrics.
+// Callers must first Unregister the gauges they registered.
+func (n *Network) ReleaseFlowMetrics() {
+	if n.metrics == nil {
+		return
+	}
+	n.flowMetricsLeft++
 }
 
 func (n *Network) registerEngineMetrics() {

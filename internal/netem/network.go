@@ -43,6 +43,7 @@ type Network struct {
 	ports    []*Port
 
 	nextFlow packet.FlowID
+	freeFlow []packet.FlowID // retired IDs awaiting reuse (LIFO)
 
 	// Sharded-execution state (see shard.go). nextDom allocates the
 	// scheduling domains stamped on every event in serial and sharded
@@ -183,10 +184,36 @@ func (n *Network) Node(id packet.NodeID) Node { return n.nodes[id] }
 // NumNodes returns the number of nodes.
 func (n *Network) NumNodes() int { return len(n.nodes) }
 
-// NextFlowID allocates a fresh flow ID.
+// NextFlowID allocates a flow ID, preferring one retired by FreeFlowID
+// over growing the ID space. Reuse keeps the dense per-host endpoint
+// demux tables (Host.eps, indexed by flow ID) sized to the *concurrent*
+// flow population instead of the total dialed over a run's lifetime —
+// the difference between O(active) and O(total) resident memory on
+// 100k-flow runs. Frees happen in the lifecycle reaper's deterministic
+// dom-0 scan order, so the LIFO pop sequence — and therefore every
+// ID-derived quantity (ECMP hashes, trace records) — is identical in
+// serial, parallel, and sharded runs.
 func (n *Network) NextFlowID() packet.FlowID {
+	if k := len(n.freeFlow); k > 0 {
+		id := n.freeFlow[k-1]
+		n.freeFlow = n.freeFlow[:k-1]
+		return id
+	}
 	n.nextFlow++
 	return n.nextFlow
+}
+
+// FreeFlowID returns a retired flow's ID to the allocation pool. Call
+// exactly once per ID, only after the flow's transport is fully torn
+// down (endpoints unregistered, gauges released, no packets of the old
+// flow in flight) — a later NextFlowID may hand the ID to a new flow
+// immediately. Emits an EvFlowRetire trace event so ID-keyed consumers
+// (the invariant checker's credit ledger) clear the old flow's state.
+func (n *Network) FreeFlowID(id packet.FlowID) {
+	if n.tracer != nil {
+		n.tracer.Emit(obs.Event{T: n.Eng.Now(), Type: obs.EvFlowRetire, Scope: "net", Flow: int64(id)})
+	}
+	n.freeFlow = append(n.freeFlow, id)
 }
 
 // ResetStats restarts statistics on every port (used after warm-up).

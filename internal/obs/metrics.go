@@ -163,6 +163,28 @@ func (r *Registry) add(e entry) {
 	r.entries = append(r.entries, e)
 }
 
+// Unregister removes the metric registered under name and reports
+// whether it existed. Later entries keep their relative registration
+// order (snapshots stay ordered); the splice is O(n) in registry size,
+// which is bounded by the per-network gauge budget, not by flow count.
+// A stats.Series started before the removal keeps sampling its own
+// closure — use the long-format metrics CSV when the metric set is
+// dynamic.
+func (r *Registry) Unregister(name string) bool {
+	i, ok := r.byName[name]
+	if !ok {
+		return false
+	}
+	delete(r.byName, name)
+	copy(r.entries[i:], r.entries[i+1:])
+	r.entries[len(r.entries)-1] = entry{}
+	r.entries = r.entries[:len(r.entries)-1]
+	for j := i; j < len(r.entries); j++ {
+		r.byName[r.entries[j].name] = j
+	}
+	return true
+}
+
 // Len returns the number of registered metrics.
 func (r *Registry) Len() int { return len(r.entries) }
 

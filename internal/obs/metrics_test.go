@@ -38,6 +38,48 @@ func TestRegistryCounterGauge(t *testing.T) {
 	}
 }
 
+func TestRegistryUnregister(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("keep/a")
+	r.Gauge("flow/1/rate", func() float64 { return 1 })
+	r.Gauge("flow/1/w", func() float64 { return 2 })
+	r.Gauge("keep/b", func() float64 { return 3 })
+
+	if !r.Unregister("flow/1/rate") {
+		t.Fatal("Unregister of a present metric returned false")
+	}
+	if r.Unregister("flow/1/rate") {
+		t.Error("second Unregister of the same name returned true")
+	}
+	if r.Unregister("never/registered") {
+		t.Error("Unregister of an unknown name returned true")
+	}
+
+	snap := r.Snapshot()
+	names := make([]string, len(snap))
+	for i, s := range snap {
+		names[i] = s.Name
+	}
+	want := "keep/a flow/1/w keep/b"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("post-unregister names = %q, want %q (registration order kept)", got, want)
+	}
+
+	// Surviving metrics stay addressable by name: Counter must return
+	// the original cell, not a fresh one, after the index reshuffle.
+	c.Add(5)
+	if again := r.Counter("keep/a"); again != c || again.Value() != 5 {
+		t.Error("Counter identity lost after Unregister compaction")
+	}
+
+	// Re-registering a removed name starts fresh at the tail.
+	r.Gauge("flow/1/rate", func() float64 { return 9 })
+	snap = r.Snapshot()
+	if last := snap[len(snap)-1]; last.Name != "flow/1/rate" || last.Value != 9 {
+		t.Errorf("re-registered gauge = %+v, want flow/1/rate=9 at tail", last)
+	}
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("fct_ms", []float64{1, 2, 5, 10})

@@ -101,6 +101,12 @@ const (
 	// routing — do not constrain the transient; the invariant checker
 	// voids its positional findings when it sees one.
 	EvRouteBuild
+	// EvFlowRetire: a completed flow was retired and its ID returned to
+	// the network's free pool for reuse by a later arrival. Flow is the
+	// freed ID. Consumers keying state by flow ID (the invariant
+	// checker's credit-conservation ledger) must clear that ID's state,
+	// since subsequent events carrying it belong to a different flow.
+	EvFlowRetire
 
 	numEventTypes
 )
@@ -124,6 +130,7 @@ var eventNames = [numEventTypes]string{
 	EvDataSend:     "data_send",
 	EvCreditTx:     "credit_tx",
 	EvRouteBuild:   "route_build",
+	EvFlowRetire:   "flow_retire",
 }
 
 func (t EventType) String() string {

@@ -146,13 +146,18 @@ func buildFlows(net *netem.Network, gen *sim.Rand, opt Options, rep *Report) []*
 	rep.Load = 0.3 + 0.5*gen.Float64()
 	rep.Flows = 10 + gen.Intn(31)
 	hosts := net.Hosts()
-	specs := workload.Poisson(gen, workload.PoissonConfig{
+	specs, err := workload.Poisson(gen, workload.PoissonConfig{
 		Hosts:   len(hosts),
 		Dist:    dist,
 		Load:    rep.Load,
 		RefRate: 10 * unit.Gbps,
 		Flows:   rep.Flows,
 	})
+	if err != nil {
+		// Every generated config satisfies the validator (>= 2 hosts,
+		// Table 2 dists, positive load); an error here is a fuzzer bug.
+		panic(err)
+	}
 	flows := make([]*transport.Flow, 0, len(specs))
 	for _, s := range specs {
 		size := s.Size

@@ -195,6 +195,23 @@ func (c *Conn) Stop() {
 	c.Flow.Receiver.Unregister(c.Flow.ID)
 }
 
+// Quiesced reports whether the connection has wound down on its own:
+// every payload byte is cumulatively acknowledged and neither the RTO
+// nor the pacing timer is pending (both stop re-arming once all data is
+// acked). Self-rescheduling CC timers are not covered — they observe
+// Stopped() and end themselves after Retire. Long-running flows
+// (Size == 0) never quiesce. As with core.Session, callers should wait
+// a grace period past FinishTime before retiring so duplicate ACKs
+// still in flight drain to a registered endpoint.
+func (c *Conn) Quiesced() bool {
+	return c.allAcked() && !c.rtoTimer.Pending() && !c.paceTimer.Pending()
+}
+
+// Retire tears the connection down for the lifecycle reaper. Conns
+// register no per-flow gauges, so this is Stop plus the contract that
+// dropping the last reference makes the connection collectable.
+func (c *Conn) Retire() { c.Stop() }
+
 // Engine returns the simulation engine executing this connection's
 // events (for CC implementations). Fetched through the sender host so
 // it stays correct after the network partitions into shards.

@@ -1,9 +1,26 @@
 package workload
 
 import (
+	"fmt"
+
 	"expresspass/internal/sim"
 	"expresspass/internal/unit"
 )
+
+// ConfigError reports an invalid workload-generator configuration. The
+// generators are driven by arithmetic on caller-supplied knobs (host
+// counts, loads, rate references); a zero or degenerate knob used to
+// surface as a runtime panic (Intn(0)) or a division by zero deep in
+// the arrival loop — callers now get the offending field by name.
+type ConfigError struct {
+	Generator string // which generator rejected the config
+	Field     string // offending field
+	Reason    string // what about it is invalid
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("workload: %s config: %s %s", e.Generator, e.Field, e.Reason)
+}
 
 // FlowSpec describes one flow to be created by an experiment driver:
 // host indexes (into the topology's host list), size, and start time.
@@ -28,7 +45,15 @@ type PoissonConfig struct {
 
 // Poisson generates Flows flows with exponential inter-arrivals sized so
 // offered load ≈ Load·RefRate, with uniform random src≠dst pairs.
-func Poisson(rng *sim.Rand, cfg PoissonConfig) []FlowSpec {
+// Arrival times are strictly non-decreasing, which lifecycle-managed
+// drivers rely on for chained arrival dialing. An invalid config — too
+// few hosts for a src≠dst pair, a degenerate size distribution, or a
+// non-positive load or reference rate — returns a *ConfigError instead
+// of panicking inside the arrival loop.
+func Poisson(rng *sim.Rand, cfg PoissonConfig) ([]FlowSpec, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	meanBits := float64(cfg.Dist.Mean()) * 8
 	lambda := cfg.Load * float64(cfg.RefRate) / meanBits // flows/sec
 	meanGap := sim.Duration(float64(sim.Second) / lambda)
@@ -43,7 +68,28 @@ func Poisson(rng *sim.Rand, cfg PoissonConfig) []FlowSpec {
 		}
 		specs = append(specs, FlowSpec{Src: src, Dst: dst, Size: cfg.Dist.Sample(rng), Start: t})
 	}
-	return specs
+	return specs, nil
+}
+
+func (cfg PoissonConfig) validate() error {
+	bad := func(field, reason string) error {
+		return &ConfigError{Generator: "poisson", Field: field, Reason: reason}
+	}
+	switch {
+	case cfg.Hosts < 2:
+		return bad("Hosts", fmt.Sprintf("= %d, need >= 2 for src != dst pairs", cfg.Hosts))
+	case cfg.Dist == nil:
+		return bad("Dist", "is nil")
+	case cfg.Dist.Mean() <= 0:
+		return bad("Dist", fmt.Sprintf("%q has non-positive mean %v", cfg.Dist.Name, cfg.Dist.Mean()))
+	case cfg.Load <= 0:
+		return bad("Load", fmt.Sprintf("= %g, need > 0", cfg.Load))
+	case cfg.RefRate <= 0:
+		return bad("RefRate", fmt.Sprintf("= %v, need > 0", cfg.RefRate))
+	case cfg.Flows < 0:
+		return bad("Flows", fmt.Sprintf("= %d, need >= 0", cfg.Flows))
+	}
+	return nil
 }
 
 // IncastConfig drives the partition/aggregate generator of Fig 1: one

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -114,7 +115,10 @@ func TestPoissonOfferedLoad(t *testing.T) {
 		Hosts: 48, Dist: d, Load: 0.6, RefRate: 160 * unit.Gbps,
 		Flows: 20000,
 	}
-	specs := Poisson(rng, cfg)
+	specs, err := Poisson(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(specs) != cfg.Flows {
 		t.Fatalf("flows = %d", len(specs))
 	}
@@ -205,5 +209,47 @@ func TestPermutationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestPoissonConfigValidation(t *testing.T) {
+	rng := sim.NewRand(9)
+	valid := PoissonConfig{
+		Hosts: 8, Dist: WebSearch(), Load: 0.6, RefRate: 10 * unit.Gbps,
+		Flows: 10,
+	}
+	if _, err := Poisson(rng, valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		mut   func(*PoissonConfig)
+		field string
+	}{
+		{"one host", func(c *PoissonConfig) { c.Hosts = 1 }, "Hosts"},
+		{"zero hosts", func(c *PoissonConfig) { c.Hosts = 0 }, "Hosts"},
+		{"nil dist", func(c *PoissonConfig) { c.Dist = nil }, "Dist"},
+		{"zero-mean dist", func(c *PoissonConfig) { c.Dist = &SizeDist{Name: "empty"} }, "Dist"},
+		{"zero load", func(c *PoissonConfig) { c.Load = 0 }, "Load"},
+		{"negative load", func(c *PoissonConfig) { c.Load = -0.5 }, "Load"},
+		{"zero ref rate", func(c *PoissonConfig) { c.RefRate = 0 }, "RefRate"},
+		{"negative flows", func(c *PoissonConfig) { c.Flows = -1 }, "Flows"},
+	}
+	for _, tc := range cases {
+		cfg := valid
+		tc.mut(&cfg)
+		specs, err := Poisson(rng, cfg)
+		if err == nil {
+			t.Errorf("%s: no error (got %d specs)", tc.name, len(specs))
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %T is not *ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Generator != "poisson" || ce.Field != tc.field {
+			t.Errorf("%s: got %q/%q, want poisson/%s", tc.name, ce.Generator, ce.Field, tc.field)
+		}
 	}
 }
