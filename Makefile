@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check check-sharded test bench bench-quick bench-gate gate fmt vet race fuzz-smoke cover
+.PHONY: check check-sharded test bench bench-quick bench-diff bench-gate gate fmt vet race fuzz-smoke cover
 
 ## check: the pre-commit gate — vet, formatting, and the race-enabled
 ## tests of the engine, instrumentation, and parallel-runner layers
@@ -103,15 +103,50 @@ bench-quick:
 ## BENCH_8.json for the 1155→44 MB before/after at scale=1.0).
 ## HOTPATH_EVRATE_FLOOR guards throughput the same way the alloc budget
 ## guards the heap: the same BenchmarkHotPath run must sustain at least
-## this many sim-events/sec (default 80% of the rate recorded after the
-## PR-4 hot-path work, BENCH_4.json; override for slower CI hosts).
+## this many sim-events/sec (80% of the rate recorded after the PR-4
+## hot-path work, BENCH_4.json; retained unchanged for the calendar
+## scheduler, which clears it with ~20% headroom — see BENCH_9.json —
+## since 80% of the new rate would loosen the floor; override for
+## slower CI hosts).
 HOTPATH_ALLOC_BUDGET ?= 0
 HOTPATH_EVRATE_FLOOR ?= 9202272
+
+## bench-diff: the paired scheduler comparison — BenchmarkHotPathSched
+## runs the identical hot path under the 4-ary heap and the calendar
+## queue in one process and this target prints a benchstat-style table
+## (sim-events/sec, allocs/op, calendar-vs-heap delta). The calendar
+## arm — the default scheduler — must clear the same
+## HOTPATH_EVRATE_FLOOR and HOTPATH_ALLOC_BUDGET as BenchmarkHotPath,
+## so a calendar regression fails loudly even when the heap arm still
+## passes. Runs as the first stage of `make bench-gate`.
+bench-diff:
+	@out=$$(go test -run '^$$' -bench '^BenchmarkHotPathSched$$' -benchmem -benchtime 200x .) || { echo "$$out"; exit 1; }; \
+	echo "$$out"; \
+	heap_ev=$$(echo "$$out" | awk '/^BenchmarkHotPathSched\/heap/ { for (i=1; i<NF; i++) if ($$(i+1) == "sim-events/sec") print $$i }'); \
+	cal_ev=$$(echo "$$out" | awk '/^BenchmarkHotPathSched\/calendar/ { for (i=1; i<NF; i++) if ($$(i+1) == "sim-events/sec") print $$i }'); \
+	heap_al=$$(echo "$$out" | awk '/^BenchmarkHotPathSched\/heap/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \
+	cal_al=$$(echo "$$out" | awk '/^BenchmarkHotPathSched\/calendar/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \
+	if [ -z "$$heap_ev" ] || [ -z "$$cal_ev" ] || [ -z "$$heap_al" ] || [ -z "$$cal_al" ]; then \
+		echo "bench-diff: could not parse paired benchmark output"; exit 1; \
+	fi; \
+	echo ""; \
+	printf "bench-diff: %-9s %16s %10s\n" scheduler sim-events/sec allocs/op; \
+	printf "bench-diff: %-9s %16s %10s\n" heap "$$heap_ev" "$$heap_al"; \
+	printf "bench-diff: %-9s %16s %10s\n" calendar "$$cal_ev" "$$cal_al"; \
+	echo "$$heap_ev $$cal_ev" | awk '{ printf "bench-diff: %-9s %+15.1f%%\n", "delta", ($$2-$$1)/$$1*100 }'; \
+	if echo "$$cal_ev $(HOTPATH_EVRATE_FLOOR)" | awk '{ exit !($$1 < $$2) }'; then \
+		echo "bench-diff: FAIL — calendar $$cal_ev sim-events/sec below floor $(HOTPATH_EVRATE_FLOOR)"; exit 1; \
+	fi; \
+	if [ "$$cal_al" -gt "$(HOTPATH_ALLOC_BUDGET)" ]; then \
+		echo "bench-diff: FAIL — calendar $$cal_al allocs/op exceeds budget $(HOTPATH_ALLOC_BUDGET)"; exit 1; \
+	fi; \
+	echo "bench-diff: OK (calendar clears floor $(HOTPATH_EVRATE_FLOOR) and budget $(HOTPATH_ALLOC_BUDGET))"
 OBS_BYTES_BUDGET ?= 160
 OBS_RSS_BUDGET_MB ?= 256
 LIFECYCLE_RSS_BUDGET_MB ?= 256
 LIFECYCLE_SCALE ?= 0.5
 bench-gate:
+	@$(MAKE) --no-print-directory bench-diff
 	@out=$$(go test -run '^$$' -bench '^BenchmarkHotPath$$' -benchmem -benchtime 200x .) || { echo "$$out"; exit 1; }; \
 	echo "$$out"; \
 	allocs=$$(echo "$$out" | awk '/^BenchmarkHotPath/ { for (i=1; i<NF; i++) if ($$(i+1) == "allocs/op") print $$i }'); \

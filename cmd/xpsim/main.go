@@ -95,6 +95,8 @@ func main() {
 		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
 	shards := flag.Int("shards", 0,
 		"intra-run topology shards per trial (0/1 = serial; output is identical at any count)")
+	sched := flag.String("sched", "calendar",
+		"event scheduler: calendar (timer-wheel calendar queue) or heap (4-ary min-heap); output is identical under either")
 	invariants := flag.Bool("invariants", false,
 		"arm the runtime invariant checkers; violations are printed and exit nonzero")
 	flightPath := flag.String("flight", "",
@@ -106,6 +108,10 @@ func main() {
 
 	expresspass.SetSweepProcs(*procs)
 	expresspass.SetShards(*shards)
+	if err := expresspass.SetScheduler(*sched); err != nil {
+		fmt.Fprintf(os.Stderr, "xpsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *faultSpec != "" {
 		plan, err := expresspass.ParseFaultSpec(*faultSpec)

@@ -246,8 +246,12 @@ func (sn *sender) sendRequest() {
 	req.Dst = f.Receiver.ID()
 	req.Wire = unit.MinFrame
 	sn.host.Send(req)
-	sn.reqTimer = sn.host.Engine().After2D(sn.host.Dom(),
-		4*sn.sess.Cfg.BaseRTT, senderSendRequest, sn, nil, 0)
+	// The NACK-recovery path re-enters with the previous retry timer
+	// still armed; rescheduling it in place keeps exactly one retry
+	// event alive instead of stacking a second alongside the old one.
+	eng := sn.host.Engine()
+	sn.reqTimer = sim.Rearm(sn.reqTimer, eng, sn.host.Dom(),
+		eng.Now()+4*sn.sess.Cfg.BaseRTT, senderSendRequest, sn, nil, 0)
 }
 
 // OnPacket handles credits (and NACKs) arriving at the sender.
@@ -339,13 +343,17 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 // armIdleWatchdog re-requests credits if data remains unsent but no
 // credit has arrived for several RTTs (Fig 7a: "New data /
 // CREDIT_REQUEST" out of CSTOP_SENT, and timeout-driven re-request).
+// Every credit arrival pushes the deadline out, so this is the
+// receiver-side analogue of transport.Conn's per-ACK RTO re-arm:
+// rescheduling in place spares one dead 8·BaseRTT event per credit.
 func (sn *sender) armIdleWatchdog() {
-	sn.idleTimer.Cancel()
 	if sn.unbounded || sn.remaining <= 0 {
+		sn.idleTimer.Cancel()
 		return
 	}
-	sn.idleTimer = sn.host.Engine().After2D(sn.host.Dom(),
-		8*sn.sess.Cfg.BaseRTT, senderIdleTimeout, sn, nil, 0)
+	eng := sn.host.Engine()
+	sn.idleTimer = sim.Rearm(sn.idleTimer, eng, sn.host.Dom(),
+		eng.Now()+8*sn.sess.Cfg.BaseRTT, senderIdleTimeout, sn, nil, 0)
 }
 
 // onIdleTimeout fires when data remains unsent but no credit arrived
@@ -512,9 +520,9 @@ func (rc *receiver) OnPacket(p *packet.Packet) {
 		// completes.
 		rc.nackRetries = 0
 		if f := rc.sess.Flow; f.Size > 0 && !f.Finished {
-			rc.nackTimer.Cancel()
-			rc.nackTimer = rc.host.Engine().After2D(rc.host.Dom(),
-				4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
+			eng := rc.host.Engine()
+			rc.nackTimer = sim.Rearm(rc.nackTimer, eng, rc.host.Dom(),
+				eng.Now()+4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
 		}
 	case p.Kind == packet.Ctrl && p.Ctrl == packet.CtrlFin:
 		packet.Put(p)
@@ -565,8 +573,9 @@ func (rc *receiver) requestMissing() {
 	nk.Ack = int64(f.BytesDelivered)
 	nk.Wire = unit.MinFrame
 	rc.host.Send(nk)
-	rc.nackTimer = rc.host.Engine().After2D(rc.host.Dom(),
-		4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
+	eng := rc.host.Engine()
+	rc.nackTimer = sim.Rearm(rc.nackTimer, eng, rc.host.Dom(),
+		eng.Now()+4*rc.sess.Cfg.BaseRTT, receiverReqMissing, rc, nil, 0)
 }
 
 // sendCredit emits one credit and schedules the next per the current

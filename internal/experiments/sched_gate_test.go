@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"expresspass/internal/invariant"
+	"expresspass/internal/netem"
+	"expresspass/internal/obs"
+	"expresspass/internal/runner"
+	"expresspass/internal/sim"
+)
+
+// runWithSched runs one experiment with the process-default scheduler
+// forced to kind, trials serialized (-procs 1) and the topology cut
+// into k shards (0 = serial engine) so the comparison isolates the
+// event-queue implementation.
+func runWithSched(t *testing.T, kind sim.SchedulerKind, k int, id string, p Params) []byte {
+	t.Helper()
+	prev := sim.DefaultScheduler()
+	sim.SetDefaultScheduler(kind)
+	defer sim.SetDefaultScheduler(prev)
+	netem.SetDefaultShards(k)
+	defer netem.SetDefaultShards(0)
+	runner.SetProcs(1)
+	defer runner.SetProcs(0)
+	var out bytes.Buffer
+	if err := Run(id, p, &out); err != nil {
+		t.Fatalf("sched=%v shards=%d: %v", kind, k, err)
+	}
+	return out.Bytes()
+}
+
+// TestHeapCalendarByteIdentical is the scheduler determinism gate:
+// every registered experiment must print byte-identical output under
+// `-sched heap` and `-sched calendar`, and under the heap scheduler
+// with the topology sharded four ways (the calendar+shards composition
+// is covered by TestSerialShardedByteIdentical, which runs at the
+// process default). Together with the -procs and -shards gates this
+// closes the matrix: any scheduler × any execution mode, same bytes.
+// As with the other gates it runs with the runtime invariant checkers
+// armed, so swapping the queue implementation must neither perturb an
+// output byte nor surface a paper-property violation.
+func TestHeapCalendarByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism gate runs every experiment three times")
+	}
+	all := os.Getenv("XPSIM_GATE_ALL") != ""
+	invariant.Reset()
+	invariant.Arm(invariant.Options{})
+	defer invariant.Disarm()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if gateHeavy[e.ID] && !all {
+				t.Skip("heavy realistic workload; run via `make gate` (XPSIM_GATE_ALL=1)")
+			}
+			scale, ok := gateScale[e.ID]
+			if !ok {
+				scale = 0.01 // new experiments are gated by default
+			}
+			p := Params{Scale: scale, Seed: 42}
+			heap := runWithSched(t, sim.SchedHeap, 0, e.ID, p)
+			cal := runWithSched(t, sim.SchedCalendar, 0, e.ID, p)
+			if !bytes.Equal(heap, cal) {
+				t.Errorf("output differs between -sched heap and -sched calendar\nheap:\n%s\ncalendar:\n%s",
+					heap, cal)
+			}
+			heapSharded := runWithSched(t, sim.SchedHeap, 4, e.ID, p)
+			if !bytes.Equal(heap, heapSharded) {
+				t.Errorf("output differs between -sched heap serial and -sched heap -shards 4\nserial:\n%s\nsharded:\n%s",
+					heap, heapSharded)
+			}
+			invariant.FinishArmed()
+			if n := invariant.Count(); n != 0 {
+				for i, v := range invariant.Violations() {
+					if i == 8 {
+						break
+					}
+					t.Errorf("invariant violation: %s", v)
+				}
+				t.Errorf("%d invariant violations with checkers armed", n)
+				invariant.Reset()
+			}
+		})
+	}
+}
+
+// TestHeapCalendarObsByteIdentical runs a traced, metered experiment
+// under both schedulers and requires stdout, trace bytes, and the full
+// metrics CSV to match byte for byte — including the engine-shape
+// gauges the sharded gate has to strip: Pending/MaxPending count live
+// events identically on both queues, and the recycle stream (pop order)
+// is the same, so even freelist gauges may not differ.
+func TestHeapCalendarObsByteIdentical(t *testing.T) {
+	run := func(kind sim.SchedulerKind) (out, trace, metrics string) {
+		prev := sim.DefaultScheduler()
+		sim.SetDefaultScheduler(kind)
+		defer sim.SetDefaultScheduler(prev)
+		runner.SetProcs(1)
+		defer runner.SetProcs(0)
+		var ob, tb, mb bytes.Buffer
+		rt := obs.NewRuntime(obs.Config{
+			Tracer:     obs.NewTracer(obs.NewJSONLSink(&tb)),
+			MetricsOut: &mb,
+		})
+		obs.SetActive(rt)
+		defer obs.SetActive(nil)
+		if err := Run("ext-classes", Params{Scale: 0.05, Seed: 42}, &ob); err != nil {
+			t.Fatalf("sched=%v: %v", kind, err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return ob.String(), tb.String(), mb.String()
+	}
+	ho, ht, hm := run(sim.SchedHeap)
+	co, ct, cm := run(sim.SchedCalendar)
+	if co != ho {
+		t.Errorf("stdout differs under tracing")
+	}
+	if ct != ht {
+		t.Errorf("trace bytes differ between schedulers")
+	}
+	if cm != hm {
+		t.Errorf("metrics CSV differs between schedulers (even engine-shape gauges must match)")
+	}
+	if ht == "" {
+		t.Error("trace is empty — experiment emitted no events through the trial scope")
+	}
+}

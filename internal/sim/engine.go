@@ -20,7 +20,7 @@ type Handler2 func(obj, aux any, arg uint64)
 // a link, …; 0 is the global/root domain) — and seq breaks remaining
 // ties so execution order is FIFO among equal-key events, regardless of
 // which API scheduled them. Serial runs use the same comparator as
-// sharded runs, so splitting the heap by domain ownership (see
+// sharded runs, so splitting the queue by domain ownership (see
 // ShardGroup) preserves execution order exactly.
 //
 // Exactly one of fn (closure API) and h (typed API) is non-nil. The
@@ -28,6 +28,14 @@ type Handler2 func(obj, aux any, arg uint64)
 // the allocator: obj is the receiver (a *Port, *sender, …), aux an
 // optional second pointer (usually a *packet.Packet), arg an opaque
 // word for small scalars.
+//
+// eng is the engine whose queue currently holds the event (updated if
+// ShardGroup.Activate migrates it); EventID.Cancel and Reschedule go
+// through it to keep live-event accounting and queue position correct.
+// index is the event's slot in its container — heap index, calendar
+// bucket slot, or overflow-heap index — and is -1 once popped. bucket
+// is calendar-only: the wheel bucket holding the event, or
+// calInOverflow when it is parked in the overflow heap.
 type event struct {
 	at       Time
 	seq      uint64
@@ -36,15 +44,17 @@ type event struct {
 	obj      any
 	aux      any
 	arg      uint64
+	eng      *Engine
 	dom      int32
+	bucket   int32
 	canceled bool
-	index    int // heap index, -1 when popped
+	index    int
 }
 
-// EventID identifies a scheduled event so it can be canceled. The seq
-// field guards against the engine's event-struct recycling: a stale ID
-// whose event already fired must never cancel the unrelated event that
-// now occupies the recycled struct.
+// EventID identifies a scheduled event so it can be canceled or
+// rescheduled. The seq field guards against the engine's event-struct
+// recycling: a stale ID whose event already fired must never affect the
+// unrelated event that now occupies the recycled struct.
 type EventID struct {
 	ev  *event
 	seq uint64
@@ -52,11 +62,15 @@ type EventID struct {
 
 // Cancel marks the event so it will not run. Canceling an already-fired
 // or already-canceled event is a no-op. Returns true if it was pending.
+// The struct stays queued until its time bubbles to the front (lazy
+// cancellation), but it leaves the live-event count immediately, so
+// Pending/MaxPending never report canceled events.
 func (id EventID) Cancel() bool {
 	if id.ev == nil || id.ev.seq != id.seq || id.ev.canceled || id.ev.index < 0 {
 		return false
 	}
 	id.ev.canceled = true
+	id.ev.eng.live--
 	return true
 }
 
@@ -65,20 +79,126 @@ func (id EventID) Pending() bool {
 	return id.ev != nil && id.ev.seq == id.seq && !id.ev.canceled && id.ev.index >= 0
 }
 
+// Reschedule moves a still-pending event to absolute time at, in place:
+// the event keeps its struct, domain, and sequence number, so among
+// same-time events it keeps the tie-break rank its original schedule
+// earned. This is the re-arm fast path for recurring timers (pace
+// ticks, RTOs, retry watchdogs) that used to cancel-and-repush on every
+// update, leaving a trail of dead events to pop later: a reschedule is
+// one queue fix-up and leaves nothing behind. Returns false when the
+// event already fired or was canceled — callers then fall back to
+// scheduling a fresh event. Rescheduling into the past panics, exactly
+// like scheduling into the past.
+func (id EventID) Reschedule(at Time) bool {
+	ev := id.ev
+	if ev == nil || ev.seq != id.seq || ev.canceled || ev.index < 0 {
+		return false
+	}
+	e := ev.eng
+	if at < e.now {
+		panic(fmt.Sprintf("sim: rescheduling event to %v, before now %v", at, e.now))
+	}
+	e.resched++
+	if c := e.cal; c != nil {
+		c.remove(ev)
+		ev.at = at
+		c.push(ev, e.now)
+	} else {
+		ev.at = at
+		e.heapFix(ev.index)
+	}
+	return true
+}
+
+// Rearm is the one-line migration target for the classic
+// "cancel-then-schedule" timer idiom: if id is still pending it is
+// rescheduled in place to at (no dead struct left in the queue, no new
+// seq consumed) and returned unchanged; otherwise — the timer already
+// fired, was canceled, or was never armed — a fresh typed event is
+// scheduled on e and its ID returned. Both queue implementations share
+// Reschedule's success condition, so heap and calendar runs take the
+// same branch here and their seq streams stay byte-identical.
+func Rearm(id EventID, e *Engine, dom int32, at Time, h Handler2, obj, aux any, arg uint64) EventID {
+	if id.Reschedule(at) {
+		return id
+	}
+	return e.At2D(dom, at, h, obj, aux, arg)
+}
+
+// SchedulerKind selects the pending-event queue implementation.
+type SchedulerKind uint8
+
+const (
+	// SchedHeap is the hand-rolled 4-ary min-heap: O(log n) per
+	// operation, no auxiliary state. Kept for differential testing and
+	// benchmarking against SchedCalendar (`xpsim -sched heap`).
+	SchedHeap SchedulerKind = iota
+	// SchedCalendar is the calendar-queue scheduler (see calendar.go):
+	// a power-of-two wheel of time buckets with O(1) amortized push/pop
+	// for the short-horizon events that dominate the simulator, plus a
+	// 4-ary overflow heap for far-future timers. Pop order is
+	// byte-identical to SchedHeap: exact (time, dom, seq).
+	SchedCalendar
+)
+
+// String returns the -sched flag spelling of k.
+func (k SchedulerKind) String() string {
+	if k == SchedHeap {
+		return "heap"
+	}
+	return "calendar"
+}
+
+// ParseScheduler maps a -sched flag value to a SchedulerKind.
+func ParseScheduler(name string) (SchedulerKind, error) {
+	switch name {
+	case "heap":
+		return SchedHeap, nil
+	case "calendar":
+		return SchedCalendar, nil
+	}
+	return SchedHeap, fmt.Errorf("unknown scheduler %q (want heap or calendar)", name)
+}
+
+// defaultScheduler is the kind New uses; calendar is the default, with
+// the heap kept behind `-sched heap` for differential comparison.
+var defaultScheduler = SchedCalendar
+
+// SetDefaultScheduler selects the queue implementation New gives future
+// engines (existing engines are unaffected). Not safe to call while
+// engines are running; runners set it once at process start.
+func SetDefaultScheduler(k SchedulerKind) { defaultScheduler = k }
+
+// DefaultScheduler returns the kind New currently hands out.
+func DefaultScheduler() SchedulerKind { return defaultScheduler }
+
 // Engine is a single-threaded discrete-event simulator.
 // The zero value is not usable; construct with New.
 //
-// The pending-event queue is a hand-rolled 4-ary min-heap ordered by
-// (time, seq): shallower than a binary heap and free of interface
-// dispatch, which matters because heap churn dominates the simulator's
-// CPU profile.
+// The pending-event queue is pluggable (see SchedulerKind): a calendar
+// queue by default, or a 4-ary min-heap, both ordered by (time, dom,
+// seq). Queue churn dominates the simulator's CPU profile, so the
+// dispatch between them is a single predictable nil-check on e.cal
+// rather than an interface call.
 type Engine struct {
-	now       Time
-	heap      []*event
-	nextSeq   uint64
-	rng       *Rand
-	nEvents   uint64 // executed events, for instrumentation
-	maxHeap   int    // peak heap depth, for instrumentation
+	now     Time
+	heap    []*event // SchedHeap storage (nil container in calendar mode)
+	cal     *calQ    // SchedCalendar storage, nil in heap mode
+	nextSeq uint64
+	rng     *Rand
+	nEvents uint64 // executed events, for instrumentation
+
+	// live is the number of queued events that have not been canceled;
+	// maxLive is its high-water mark. Pending/MaxPending report these,
+	// so lazily-canceled structs awaiting their pop never inflate the
+	// obs gauges. maxQueue is the raw structure peak (canceled structs
+	// included) — the true memory high-water mark, which scales the
+	// free-list cap.
+	live     int
+	maxLive  int
+	maxQueue int
+
+	resched   uint64 // successful EventID.Reschedule calls
 	free      []*event
 	freeDrops uint64 // recycles rejected by the free-list cap
 
@@ -109,8 +229,8 @@ type Engine struct {
 }
 
 // post is one deferred cross-shard schedule: an event destined for
-// another shard's heap, held in the scheduling shard's outbox until the
-// epoch barrier so shard heaps stay single-writer during windows.
+// another shard's queue, held in the scheduling shard's outbox until the
+// epoch barrier so shard queues stay single-writer during windows.
 type post struct {
 	dst      *Engine
 	at       Time
@@ -120,9 +240,26 @@ type post struct {
 	dom      int32
 }
 
-// New returns an engine at time zero whose RNG is seeded with seed.
-func New(seed uint64) *Engine {
-	return &Engine{rng: NewRand(seed), shardIdx: -1}
+// New returns an engine at time zero whose RNG is seeded with seed,
+// using the process-default scheduler (see SetDefaultScheduler).
+func New(seed uint64) *Engine { return NewWithScheduler(seed, defaultScheduler) }
+
+// NewWithScheduler returns an engine at time zero whose RNG is seeded
+// with seed and whose pending-event queue is the given kind.
+func NewWithScheduler(seed uint64, kind SchedulerKind) *Engine {
+	e := &Engine{rng: NewRand(seed), shardIdx: -1}
+	if kind == SchedCalendar {
+		e.cal = newCalQ()
+	}
+	return e
+}
+
+// Scheduler returns the queue implementation this engine runs on.
+func (e *Engine) Scheduler() SchedulerKind {
+	if e.cal != nil {
+		return SchedCalendar
+	}
+	return SchedHeap
 }
 
 // Now returns the current simulation time.
@@ -153,29 +290,42 @@ func (e *Engine) Executed() uint64 {
 	return n
 }
 
-// Pending returns the number of events currently queued (including
-// canceled-but-unpopped events; on a sharded root, summed over shards).
+// Pending returns the number of live (non-canceled) events currently
+// queued (on a sharded root, summed over shards). Lazily-canceled
+// structs still occupying the queue are not counted; see DESIGN.md
+// "Event scheduler" for the accounting change.
 func (e *Engine) Pending() int {
-	n := len(e.heap)
+	n := e.live
 	for _, s := range e.shardEngines() {
-		n += len(s.heap)
+		n += s.live
 	}
 	return n
 }
 
-// MaxPending returns the peak event-heap depth observed so far — the
-// engine's memory high-water mark and a proxy for model fan-out. On a
-// sharded root it is the max over the root and shard heaps (shard heaps
-// are disjoint slices of the serial heap, so this is a lower bound on
-// the equivalent serial peak).
+// MaxPending returns the peak live-event population observed so far —
+// a proxy for model fan-out. On a sharded root it is the max over the
+// root and shard queues (shard queues are disjoint slices of the serial
+// queue, so this is a lower bound on the equivalent serial peak).
 func (e *Engine) MaxPending() int {
-	m := e.maxHeap
+	m := e.maxLive
 	for _, s := range e.shardEngines() {
-		if s.maxHeap > m {
-			m = s.maxHeap
+		if s.maxLive > m {
+			m = s.maxLive
 		}
 	}
 	return m
+}
+
+// Rescheduled returns how many timer re-arms took the in-place
+// EventID.Reschedule fast path instead of a cancel+push pair — each one
+// is a dead event struct that never entered the queue (obs exports it
+// as sim/resched; summed over shards on a sharded root).
+func (e *Engine) Rescheduled() uint64 {
+	n := e.resched
+	for _, s := range e.shardEngines() {
+		n += s.resched
+	}
+	return n
 }
 
 // FreeListSize returns the number of event structs currently parked on
@@ -203,7 +353,7 @@ func (e *Engine) FreeListDrops() uint64 {
 }
 
 // CurrentKey returns the ordering key (time, dom, seq) of the event
-// being dispatched right now. Heap pop order within one engine is
+// being dispatched right now. Queue pop order within one engine is
 // exactly key order, so instrumentation that stamps each emission with
 // this key can merge per-shard buffers back into serial emission order
 // with a k-way merge (see obs.ShardBuf).
@@ -236,9 +386,9 @@ func (e *Engine) firePreRun() {
 }
 
 // SetHook installs a profiling hook invoked after every executed event
-// with the current time and remaining heap depth (nil uninstalls).
-// Intended for instrumentation (event-rate meters, heap-depth probes);
-// the hook must not schedule or cancel events.
+// with the current time and remaining live-event count (nil
+// uninstalls). Intended for instrumentation (event-rate meters,
+// queue-depth probes); the hook must not schedule or cancel events.
 func (e *Engine) SetHook(fn func(now Time, pending int)) { e.hook = fn }
 
 // less orders events by (time, domain, insertion sequence). The domain
@@ -246,7 +396,8 @@ func (e *Engine) SetHook(fn func(now Time, pending int)) { e.hook = fn }
 // every domain's events live in exactly one shard, so each shard pops
 // its own events in globally consistent key order and equal-time events
 // from different domains never race — the serial engine resolves them
-// by dom just as the barrier does.
+// by dom just as the barrier does. Both queue implementations use this
+// one comparator, which is why their pop orders are byte-identical.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -256,6 +407,8 @@ func less(a, b *event) bool {
 	}
 	return a.seq < b.seq
 }
+
+// ---- 4-ary min-heap (SchedHeap) ----
 
 func (e *Engine) siftUp(i int) {
 	ev := e.heap[i]
@@ -302,16 +455,13 @@ func (e *Engine) siftDown(i int) {
 	ev.index = i
 }
 
-func (e *Engine) push(ev *event) {
+func (e *Engine) heapPush(ev *event) {
 	e.heap = append(e.heap, ev)
-	if len(e.heap) > e.maxHeap {
-		e.maxHeap = len(e.heap)
-	}
 	e.siftUp(len(e.heap) - 1)
 }
 
-// popMin removes and returns the earliest event.
-func (e *Engine) popMin() *event {
+// heapPopMin removes and returns the earliest event.
+func (e *Engine) heapPopMin() *event {
 	ev := e.heap[0]
 	n := len(e.heap) - 1
 	e.heap[0] = e.heap[n]
@@ -325,9 +475,103 @@ func (e *Engine) popMin() *event {
 	return ev
 }
 
+// heapFix restores the heap property after heap[i]'s key changed
+// (container/heap Fix: sink first, and float only if it never sank).
+func (e *Engine) heapFix(i int) {
+	ev := e.heap[i]
+	e.siftDown(i)
+	if ev.index == i {
+		e.siftUp(i)
+	}
+}
+
+// ---- scheduler-agnostic queue operations ----
+//
+// Everything below engine code goes through these. The branch on e.cal
+// is the entire scheduler dispatch: one nil check, no interface call.
+
+// qPush inserts a prepared event (at/dom/seq set) and maintains the
+// live/peak accounting shared by both schedulers.
+func (e *Engine) qPush(ev *event) {
+	if c := e.cal; c != nil {
+		c.push(ev, e.now)
+		if n := c.len(); n > e.maxQueue {
+			e.maxQueue = n
+		}
+	} else {
+		e.heapPush(ev)
+		if n := len(e.heap); n > e.maxQueue {
+			e.maxQueue = n
+		}
+	}
+	if !ev.canceled {
+		e.live++
+		if e.live > e.maxLive {
+			e.maxLive = e.live
+		}
+	}
+}
+
+// qPop removes and returns the (time, dom, seq)-minimum event, or nil
+// when the queue is empty. Canceled events are returned too (their
+// structs must still be recycled); they left the live count at Cancel.
+func (e *Engine) qPop() *event {
+	var ev *event
+	if c := e.cal; c != nil {
+		ev = c.pop(e.now)
+		if ev == nil {
+			return nil
+		}
+	} else {
+		if len(e.heap) == 0 {
+			return nil
+		}
+		ev = e.heapPopMin()
+	}
+	if !ev.canceled {
+		e.live--
+	}
+	return ev
+}
+
+// qPeek returns the minimum event without removing it (possibly a
+// canceled one), or nil when the queue is empty.
+func (e *Engine) qPeek() *event {
+	if c := e.cal; c != nil {
+		return c.peek(e.now)
+	}
+	if len(e.heap) == 0 {
+		return nil
+	}
+	return e.heap[0]
+}
+
+// qLen returns the raw queue population, canceled structs included.
+func (e *Engine) qLen() int {
+	if c := e.cal; c != nil {
+		return c.len()
+	}
+	return len(e.heap)
+}
+
+// qExtractAll empties the queue and returns every resident event in
+// unspecified order (ShardGroup.Activate redistributes them through
+// qPush, which rebuilds the live accounting).
+func (e *Engine) qExtractAll() []*event {
+	var evs []*event
+	if c := e.cal; c != nil {
+		evs = c.extractAll()
+	} else {
+		evs = e.heap
+		e.heap = nil
+	}
+	e.live = 0
+	return evs
+}
+
 // alloc claims a recycled event struct (or allocates a fresh one),
 // stamps it with at, dom, and the next sequence number, and pushes it
-// on the heap. Shared by the closure and typed scheduling APIs so
+// on the queue. Shared by the closure and typed scheduling APIs so
 // tie-breaking seq order is identical no matter which API scheduled an
 // event. A shard engine refuses dom-0 (global-domain) events: global
 // events must stay on the root engine, where the coordinator runs them
@@ -350,9 +594,10 @@ func (e *Engine) alloc(at Time, dom int32) *event {
 	ev.at = at
 	ev.dom = dom
 	ev.seq = e.nextSeq
+	ev.eng = e
 	ev.canceled = false
 	e.nextSeq++
-	e.push(ev)
+	e.qPush(ev)
 	return ev
 }
 
@@ -413,7 +658,7 @@ func (e *Engine) After2D(dom int32, d Duration, h Handler2, obj, aux any, arg ui
 // Post schedules the typed event h(obj, aux, arg) at absolute time at
 // in domain dom on engine dst, which may belong to another shard. On
 // the same engine it is a plain At2D; across engines the event is held
-// in e's outbox and injected into dst's heap at the next epoch barrier,
+// in e's outbox and injected into dst's queue at the next epoch barrier,
 // in deterministic (shard, emission) order, with a seq assigned by dst.
 // Cross-shard events are not cancelable, so Post returns nothing —
 // callers needing an EventID must be same-engine by construction.
@@ -429,8 +674,11 @@ func (e *Engine) Post(dst *Engine, dom int32, at Time, h Handler2, obj, aux any,
 
 // Step executes the next event. It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.popMin()
+	for {
+		ev := e.qPop()
+		if ev == nil {
+			return false
+		}
 		if ev.canceled {
 			e.recycle(ev)
 			continue
@@ -448,27 +696,26 @@ func (e *Engine) Step() bool {
 			fn()
 		}
 		if e.hook != nil {
-			e.hook(e.now, len(e.heap))
+			e.hook(e.now, e.live)
 		}
 		return true
 	}
-	return false
 }
 
 // recycle parks a popped event struct for reuse, dropping its payload
 // references so recycled structs never pin handlers, receivers, or
 // packets for the GC. The free-list cap scales with the observed peak
-// heap depth (floor 4096): the live struct population is bounded by
-// maxHeap, so this cap retains essentially every struct ever allocated
-// while still bounding a pathological burst. The hard-coded 4096 it
-// replaces silently re-allocated under Table 3-scale heaps (~64k
-// pending events).
+// queue population (floor 4096): the live struct population is bounded
+// by maxQueue, so this cap retains essentially every struct ever
+// allocated while still bounding a pathological burst. The hard-coded
+// 4096 it replaces silently re-allocated under Table 3-scale queues
+// (~64k pending events).
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.h = nil
 	ev.obj = nil
 	ev.aux = nil
-	limit := e.maxHeap
+	limit := e.maxQueue
 	if limit < 4096 {
 		limit = 4096
 	}
@@ -480,17 +727,20 @@ func (e *Engine) recycle(ev *event) {
 }
 
 // peekNext returns the timestamp of the next live event, recycling any
-// canceled events that have bubbled to the heap top, or Forever when
-// the heap is empty.
+// canceled events that have bubbled to the queue front, or Forever when
+// the queue is empty.
 func (e *Engine) peekNext() Time {
-	for len(e.heap) > 0 {
-		if e.heap[0].canceled {
-			e.recycle(e.popMin())
+	for {
+		ev := e.qPeek()
+		if ev == nil {
+			return Forever
+		}
+		if ev.canceled {
+			e.recycle(e.qPop())
 			continue
 		}
-		return e.heap[0].at
+		return ev.at
 	}
-	return Forever
 }
 
 // runWindow executes every event with timestamp < end, then advances
@@ -499,10 +749,15 @@ func (e *Engine) peekNext() Time {
 // only e's own state.
 func (e *Engine) runWindow(end, clockTo Time) {
 	for {
-		for len(e.heap) > 0 && e.heap[0].canceled {
-			e.recycle(e.popMin())
+		ev := e.qPeek()
+		if ev == nil {
+			break
 		}
-		if len(e.heap) == 0 || e.heap[0].at >= end {
+		if ev.canceled {
+			e.recycle(e.qPop())
+			continue
+		}
+		if ev.at >= end {
 			break
 		}
 		e.Step()
@@ -542,13 +797,16 @@ func (e *Engine) RunUntil(deadline Time) {
 		g.run(deadline)
 		return
 	}
-	for len(e.heap) > 0 {
-		next := e.heap[0]
-		if next.canceled {
-			e.recycle(e.popMin())
+	for {
+		ev := e.qPeek()
+		if ev == nil {
+			break
+		}
+		if ev.canceled {
+			e.recycle(e.qPop())
 			continue
 		}
-		if next.at > deadline {
+		if ev.at > deadline {
 			break
 		}
 		e.Step()

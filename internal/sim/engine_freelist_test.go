@@ -55,13 +55,13 @@ func TestRunUntilReusesRecycledCanceledHead(t *testing.T) {
 	}
 }
 
-// freeLimit mirrors the engine's recycle cap: the observed peak heap
-// depth with a 4096 floor.
+// freeLimit mirrors the engine's recycle cap: the observed peak queue
+// population (canceled structs included) with a 4096 floor.
 func freeLimit(e *Engine) int {
-	if e.maxHeap < 4096 {
+	if e.maxQueue < 4096 {
 		return 4096
 	}
-	return e.maxHeap
+	return e.maxQueue
 }
 
 // TestFreeListScalesWithMaxHeap churns far more events than the old

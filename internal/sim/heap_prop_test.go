@@ -22,84 +22,90 @@ func keyLess(a, b popKey) bool {
 	return a.seq < b.seq
 }
 
-// TestHeapPopOrderProperty drives the engine's 4-ary heap with a
-// seeded random mix of pushes, cancels, and partial drains — bursty
-// enough to exercise siftUp, siftDown, and canceled-head recycling
-// together, which only integration tests covered before — and asserts
-// the executed order matches a reference sort on the event keys
+// schedKinds enumerates both queue implementations; every ordering
+// property in this file must hold identically for each.
+var schedKinds = []SchedulerKind{SchedHeap, SchedCalendar}
+
+// TestHeapPopOrderProperty drives each scheduler with a seeded random
+// mix of pushes, cancels, and partial drains — bursty enough to
+// exercise sift paths (heap), bucket scans and overflow migration
+// (calendar), and canceled-head recycling together — and asserts the
+// executed order matches a reference sort on the event keys
 // (time, dom, seq).
 func TestHeapPopOrderProperty(t *testing.T) {
-	for _, seed := range []uint64{1, 7, 42, 1234, 987654321} {
-		t.Run("", func(t *testing.T) {
-			rng := NewRand(seed)
-			e := New(seed)
-			var got []popKey
-			type tracked struct {
-				id       EventID
-				key      popKey
-				canceled bool
-			}
-			var all []tracked
-			schedule := func() {
-				// Strictly future: the engine's ordering contract lets a
-				// running instant T admit new same-time events only in
-				// domains >= the executing one (in the simulator, packet
-				// transmission and wake-ups always look forward), so the
-				// reference sort is valid only for t > now insertions.
-				at := e.Now() + Duration(1+rng.Intn(50))
-				dom := int32(rng.Intn(4)) // includes dom 0 and cross-dom same-time ties
-				var id EventID
-				if rng.Intn(2) == 0 {
-					id = e.AtD(dom, at, func() {
-						got = append(got, popKey{e.Now(), e.curDom, e.curSeq})
-					})
-				} else {
-					id = e.At2D(dom, at, func(obj, aux any, arg uint64) {
-						got = append(got, popKey{e.Now(), e.curDom, e.curSeq})
-					}, nil, nil, 0)
+	for _, kind := range schedKinds {
+		for _, seed := range []uint64{1, 7, 42, 1234, 987654321} {
+			t.Run(kind.String(), func(t *testing.T) {
+				rng := NewRand(seed)
+				e := NewWithScheduler(seed, kind)
+				var got []popKey
+				type tracked struct {
+					id       EventID
+					key      popKey
+					canceled bool
 				}
-				all = append(all, tracked{id: id, key: popKey{at, dom, id.seq}})
-			}
-			for round := 0; round < 200; round++ {
-				for i, n := 0, 1+rng.Intn(20); i < n; i++ {
-					schedule()
+				var all []tracked
+				schedule := func() {
+					// Strictly future: the engine's ordering contract lets a
+					// running instant T admit new same-time events only in
+					// domains >= the executing one (in the simulator, packet
+					// transmission and wake-ups always look forward), so the
+					// reference sort is valid only for t > now insertions.
+					at := e.Now() + Duration(1+rng.Intn(50))
+					dom := int32(rng.Intn(4)) // includes dom 0 and cross-dom same-time ties
+					var id EventID
+					if rng.Intn(2) == 0 {
+						id = e.AtD(dom, at, func() {
+							got = append(got, popKey{e.Now(), e.curDom, e.curSeq})
+						})
+					} else {
+						id = e.At2D(dom, at, func(obj, aux any, arg uint64) {
+							got = append(got, popKey{e.Now(), e.curDom, e.curSeq})
+						}, nil, nil, 0)
+					}
+					all = append(all, tracked{id: id, key: popKey{at, dom, id.seq}})
 				}
-				// Cancel a random subset of the still-pending events —
-				// the heap head among them, sometimes.
-				for i := range all {
-					if !all[i].canceled && all[i].id.Pending() && rng.Intn(5) == 0 {
-						if !all[i].id.Cancel() {
-							t.Fatalf("seed %d: Cancel refused a pending event %+v", seed, all[i].key)
+				for round := 0; round < 200; round++ {
+					for i, n := 0, 1+rng.Intn(20); i < n; i++ {
+						schedule()
+					}
+					// Cancel a random subset of the still-pending events —
+					// the heap head among them, sometimes.
+					for i := range all {
+						if !all[i].canceled && all[i].id.Pending() && rng.Intn(5) == 0 {
+							if !all[i].id.Cancel() {
+								t.Fatalf("seed %d: Cancel refused a pending event %+v", seed, all[i].key)
+							}
+							all[i].canceled = true
 						}
-						all[i].canceled = true
+					}
+					// Drain a random number of events (occasionally fully).
+					pops := rng.Intn(15)
+					if rng.Intn(20) == 0 {
+						pops = len(all)
+					}
+					for i := 0; i < pops && e.Step(); i++ {
 					}
 				}
-				// Drain a random number of events (occasionally fully).
-				pops := rng.Intn(15)
-				if rng.Intn(20) == 0 {
-					pops = len(all)
+				for e.Step() {
 				}
-				for i := 0; i < pops && e.Step(); i++ {
+				var want []popKey
+				for _, tr := range all {
+					if !tr.canceled {
+						want = append(want, tr.key)
+					}
 				}
-			}
-			for e.Step() {
-			}
-			var want []popKey
-			for _, tr := range all {
-				if !tr.canceled {
-					want = append(want, tr.key)
+				sort.Slice(want, func(i, j int) bool { return keyLess(want[i], want[j]) })
+				if len(got) != len(want) {
+					t.Fatalf("seed %d: executed %d events, want %d", seed, len(got), len(want))
 				}
-			}
-			sort.Slice(want, func(i, j int) bool { return keyLess(want[i], want[j]) })
-			if len(got) != len(want) {
-				t.Fatalf("seed %d: executed %d events, want %d", seed, len(got), len(want))
-			}
-			for i := range got {
-				if got[i] != want[i] {
-					t.Fatalf("seed %d: pop %d = %+v, want %+v", seed, i, got[i], want[i])
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d: pop %d = %+v, want %+v", seed, i, got[i], want[i])
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -107,28 +113,32 @@ func TestHeapPopOrderProperty(t *testing.T) {
 // every event in one domain, pop order is exactly (time, seq) — FIFO
 // among equal-time events regardless of scheduling API.
 func TestHeapPopOrderSingleDomain(t *testing.T) {
-	rng := NewRand(99)
-	e := New(99)
-	var got []uint64
-	var want []popKey
-	for i := 0; i < 500; i++ {
-		at := Time(rng.Intn(40))
-		var id EventID
-		if i%2 == 0 {
-			id = e.At(at, func() { got = append(got, e.curSeq) })
-		} else {
-			id = e.At2(at, func(obj, aux any, arg uint64) { got = append(got, e.curSeq) }, nil, nil, 0)
-		}
-		want = append(want, popKey{at: at, seq: id.seq})
-	}
-	sort.Slice(want, func(i, j int) bool { return keyLess(want[i], want[j]) })
-	e.Run()
-	if len(got) != len(want) {
-		t.Fatalf("executed %d events, want %d", len(got), len(want))
-	}
-	for i := range got {
-		if got[i] != want[i].seq {
-			t.Fatalf("pop %d: seq %d, want %d", i, got[i], want[i].seq)
-		}
+	for _, kind := range schedKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := NewRand(99)
+			e := NewWithScheduler(99, kind)
+			var got []uint64
+			var want []popKey
+			for i := 0; i < 500; i++ {
+				at := Time(rng.Intn(40))
+				var id EventID
+				if i%2 == 0 {
+					id = e.At(at, func() { got = append(got, e.curSeq) })
+				} else {
+					id = e.At2(at, func(obj, aux any, arg uint64) { got = append(got, e.curSeq) }, nil, nil, 0)
+				}
+				want = append(want, popKey{at: at, seq: id.seq})
+			}
+			sort.Slice(want, func(i, j int) bool { return keyLess(want[i], want[j]) })
+			e.Run()
+			if len(got) != len(want) {
+				t.Fatalf("executed %d events, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i].seq {
+					t.Fatalf("pop %d: seq %d, want %d", i, got[i], want[i].seq)
+				}
+			}
+		})
 	}
 }

@@ -61,7 +61,11 @@ func NewShardGroup(root *Engine, k int, look Duration) *ShardGroup {
 	}
 	g := &ShardGroup{root: root, look: look, domTo: make(map[int32]int)}
 	for i := 0; i < k; i++ {
-		e := New(uint64(i)*0x9e3779b97f4a7c15 + 1)
+		// Shards must run the same queue implementation as the root:
+		// byte-identity between serial and sharded runs is argued per
+		// comparator, and mixing schedulers would make peak/free-list
+		// instrumentation incomparable too.
+		e := NewWithScheduler(uint64(i)*0x9e3779b97f4a7c15+1, root.Scheduler())
 		e.group = g
 		e.shardIdx = i
 		g.shards = append(g.shards, e)
@@ -120,37 +124,18 @@ func (g *ShardGroup) Activate() {
 		s.now = g.root.now
 		s.nextSeq = g.root.nextSeq
 	}
-	keep := g.root.heap[:0]
-	for _, ev := range g.root.heap {
-		if ev.dom == 0 {
-			keep = append(keep, ev)
-			continue
+	// Drain the root queue and re-push every event into its owning
+	// engine. qPush rebuilds the live accounting (qExtractAll zeroed
+	// it; canceled structs stay out of the count), and re-stamping
+	// ev.eng keeps EventIDs held on migrated events cancelable and
+	// reschedulable against the right queue.
+	for _, ev := range g.root.qExtractAll() {
+		dst := g.root
+		if ev.dom != 0 {
+			dst = g.shards[g.ShardOf(ev.dom)]
 		}
-		dst := g.shards[g.ShardOf(ev.dom)]
-		dst.heap = append(dst.heap, ev)
-	}
-	for i := len(keep); i < len(g.root.heap); i++ {
-		g.root.heap[i] = nil
-	}
-	g.root.heap = keep
-	reheapify(g.root)
-	for _, s := range g.shards {
-		reheapify(s)
-	}
-}
-
-// reheapify restores the 4-ary heap property and index fields after
-// bulk edits to e.heap.
-func reheapify(e *Engine) {
-	n := len(e.heap)
-	for i, ev := range e.heap {
-		ev.index = i
-	}
-	if n > e.maxHeap {
-		e.maxHeap = n
-	}
-	for i := (n - 2) >> 2; i >= 0; i-- {
-		e.siftDown(i)
+		ev.eng = dst
+		dst.qPush(ev)
 	}
 }
 

@@ -273,21 +273,26 @@ func (c *Conn) paceNext() {
 	if c.stopped || c.Cfg.Mode != ModePaced {
 		return
 	}
-	c.paceTimer.Cancel()
 	if c.sendPoint >= c.totalBytes() {
+		c.paceTimer.Cancel()
 		return // all data out; wait for acks / RTO
 	}
 	// Keep a generous window cap so a dead receiver can't absorb
 	// unbounded retransmissions.
 	if c.sendPoint >= c.nextSeq && c.BytesInFlight() > 4*unit.MB {
+		c.paceTimer.Cancel()
 		return
 	}
 	c.emitSegment()
 	if c.PaceRate <= 0 {
 		c.PaceRate = c.Flow.Sender.LineRate() / 1000
 	}
+	// Re-arm in place when a pending tick exists (the onRTO path calls
+	// paceNext with the timer still armed); Quiesced() relies on the
+	// early-return branches above canceling instead.
 	gap := unit.TxTime(unit.MaxFrame, c.PaceRate)
-	c.paceTimer = c.Engine().After2D(c.Flow.Sender.Dom(), gap, connPaceNext, c, nil, 0)
+	eng := c.Engine()
+	c.paceTimer = sim.Rearm(c.paceTimer, eng, c.Flow.Sender.Dom(), eng.Now()+gap, connPaceNext, c, nil, 0)
 }
 
 // emitSegment sends the segment at sendPoint and advances it.
@@ -473,9 +478,15 @@ func (c *Conn) rto() sim.Duration {
 	return r
 }
 
+// armRTO re-arms the retransmission timer for every ACK that leaves
+// data outstanding. Rescheduling in place (sim.Rearm) instead of the
+// old cancel+schedule pair matters here more than anywhere else: with
+// MinRTO-scale deadlines, every canceled RTO struct used to sit in the
+// event queue for up to ~10ms before its lazy pop, so a busy flow kept
+// one dead event per unacked window in flight.
 func (c *Conn) armRTO() {
-	c.rtoTimer.Cancel()
-	c.rtoTimer = c.Engine().After2D(c.Flow.Sender.Dom(), c.rto(), connOnRTO, c, nil, 0)
+	eng := c.Engine()
+	c.rtoTimer = sim.Rearm(c.rtoTimer, eng, c.Flow.Sender.Dom(), eng.Now()+c.rto(), connOnRTO, c, nil, 0)
 }
 
 func (c *Conn) onRTO() {
