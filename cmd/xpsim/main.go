@@ -10,6 +10,8 @@
 //	xpsim -shards 4 fig17
 //	xpsim -trace out.jsonl -metrics metrics.csv fig17
 //	xpsim -faults 'flap@10ms+2ms; stall:s0@30ms+1ms' ext-faults-flap
+//	xpsim -faults 'gemodel:credit:0.02:0.3@10ms+40ms' ext-chaos-matrix
+//	xpsim -faults 'every:20ms:roll{ stall@0ms+2ms }@10ms+80ms' ext-chaos-storm
 //
 // Scale 1.0 reproduces the paper-scale configuration (hours of CPU);
 // the default scale runs laptop-fast shape checks.
@@ -90,7 +92,10 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write heap profile to file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	faultSpec := flag.String("faults", "",
-		"fault timeline for ext-faults-* experiments, e.g. 'flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms'")
+		"fault timeline for ext-faults-*/ext-chaos-* experiments: flap, stall, loss, "+
+			"gemodel, state (4-state Markov), dup, corrupt, reorder, jitter clauses plus "+
+			"recurring every{...} chaos schedules, e.g. "+
+			"'gemodel:credit:0.02:0.3@10ms+40ms; every:20ms:roll{ stall@0ms+2ms }@10ms+80ms'")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0),
 		"worker goroutines for sweep trials (1 = serial; output is identical either way)")
 	shards := flag.Int("shards", 0,

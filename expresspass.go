@@ -281,30 +281,44 @@ func SetScheduler(name string) error {
 func Scheduler() string { return sim.DefaultScheduler().String() }
 
 // Fault injection (see internal/faults): deterministic, event-scheduled
-// link flaps, seeded per-class loss windows, and host credit stalls.
+// link flaps, host credit stalls, and the seeded impairment suite —
+// uniform and correlated loss (Gilbert-Elliott, 4-state Markov,
+// correlated Bernoulli), duplication, corruption, bounded reordering,
+// and delay/rate jitter — composable into recurring chaos schedules.
 type (
 	// FaultInjector schedules faults onto one network's engine clock.
 	FaultInjector = faults.Injector
 	// FaultDirective is one parsed fault from a -faults spec string.
 	FaultDirective = faults.Directive
-	// FaultPlan is an ordered fault timeline; Apply schedules it.
+	// FaultSchedule is one recurring chaos schedule (an every{} clause).
+	FaultSchedule = faults.Schedule
+	// FaultPlan is an ordered fault timeline (one-shot directives plus
+	// recurring chaos schedules); Apply schedules it.
 	FaultPlan = faults.Plan
+	// FaultConfigError reports a malformed -faults spec, naming the
+	// offending clause and its byte offset (retrieve with errors.As).
+	FaultConfigError = faults.ConfigError
 )
 
 // NewFaultInjector returns a fault injector bound to net.
 func NewFaultInjector(net *Network) *FaultInjector { return faults.NewInjector(net) }
 
 // ParseFaultSpec parses a fault timeline spec such as
-// "flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms"
-// (xpsim's -faults flag grammar; see faults.ParseSpec).
+//
+//	flap@10ms+2ms; gemodel:credit:0.02:0.3@20ms+5ms;
+//	every:20ms:count=3:roll{ stall@0ms+2ms }@30ms+80ms
+//
+// (xpsim's -faults flag grammar; see faults.ParseSpec for the full
+// clause list). Malformed specs return a *FaultConfigError.
 func ParseFaultSpec(spec string) (FaultPlan, error) { return faults.ParseSpec(spec) }
 
 // SetDefaultFaultPlan installs plan as the process-wide fault timeline
-// (nil clears it). When set, the ext-faults-* experiments apply it in
-// place of their built-in timelines.
+// (the zero FaultPlan clears it). When set, the ext-faults-* and
+// ext-chaos-* experiments apply it in place of their built-in timelines.
 func SetDefaultFaultPlan(plan FaultPlan) { faults.SetDefault(plan) }
 
-// DefaultFaultPlan returns the process-wide fault timeline, nil if unset.
+// DefaultFaultPlan returns the process-wide fault timeline; check
+// Empty() before using it.
 func DefaultFaultPlan() FaultPlan { return faults.Default() }
 
 // Experiment identifies one reproduced table or figure.

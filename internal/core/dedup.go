@@ -1,0 +1,60 @@
+package core
+
+// dedupWindow is a 256-entry sliding bitmap over a monotone-ish sequence
+// space, used by both ExpressPass endpoints to make duplicated frames
+// idempotent. Real fabrics duplicate packets (flaky optics retransmit at
+// the PHY, LAG rebalancing replays, and netem-style chaos injection does
+// it on purpose); a credit delivered twice must not authorize two MTUs
+// of data, and a data packet delivered twice must not count its payload
+// twice — either would break the §3.1 credit-conservation invariant the
+// checker enforces.
+//
+// The window tracks the highest sequence seen and one presence bit for
+// each of the 256 most recent sequences. That bound is deliberate:
+// duplicates are created in flight, so original and clone are separated
+// by at most the in-flight window (≪ 256 packets at any simulated BDP
+// here), and a hard bound keeps the sender state O(1) like the rest of
+// the per-flow state. Sequences older than the window are conservatively
+// reported as duplicates — for credits that direction of error wastes
+// nothing (the sender just declines a stale credit), and the receiver
+// path never sees it because data arrives within the credit RTT.
+type dedupWindow struct {
+	maxSeen int64     // highest sequence observed (0 = none yet)
+	bits    [4]uint64 // presence bits for (maxSeen-255 .. maxSeen)
+}
+
+func (w *dedupWindow) bit(seq int64) (word int, mask uint64) {
+	u := uint64(seq)
+	return int(u >> 6 & 3), 1 << (u & 63)
+}
+
+// dup records seq and reports whether it was already seen (true = treat
+// as duplicate and drop). First use of any seq > maxSeen is new.
+func (w *dedupWindow) dup(seq int64) bool {
+	switch {
+	case seq > w.maxSeen:
+		if seq-w.maxSeen >= 256 {
+			w.bits = [4]uint64{}
+		} else {
+			for s := w.maxSeen + 1; s < seq; s++ {
+				word, mask := w.bit(s)
+				w.bits[word] &^= mask
+			}
+		}
+		word, mask := w.bit(seq)
+		w.bits[word] |= mask
+		w.maxSeen = seq
+		return false
+	case seq <= w.maxSeen-256:
+		// Beyond the window: no way to know, and claiming "duplicate"
+		// is the safe direction for every caller.
+		return true
+	default:
+		word, mask := w.bit(seq)
+		if w.bits[word]&mask != 0 {
+			return true
+		}
+		w.bits[word] |= mask
+		return false
+	}
+}

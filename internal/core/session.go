@@ -171,6 +171,15 @@ func (s *Session) CreditsReceived() uint64 { return s.snd.creditsIn }
 // data left (the waste metric of Fig 20).
 func (s *Session) CreditsWasted() uint64 { return s.snd.creditsWasted }
 
+// CreditsDuplicated returns duplicated credits the sender's dedup window
+// declined — each one a clone that, if honored, would have double-spent
+// a credit.
+func (s *Session) CreditsDuplicated() uint64 { return s.snd.creditsDup }
+
+// DataDuplicated returns duplicated data packets the receiver's dedup
+// window dropped before delivery accounting.
+func (s *Session) DataDuplicated() uint64 { return s.rcv.dataDup }
+
 // DataSent returns data packets emitted by the sender.
 func (s *Session) DataSent() uint64 { return s.snd.dataSent }
 
@@ -211,8 +220,15 @@ type sender struct {
 	lastStop  sim.Time // when the latest CREDIT_STOP left (retry guard)
 	stopTimer sim.EventID
 
+	// seen rejects duplicated credits before they touch the window or
+	// emit data: a cloned credit spending twice would violate credit
+	// conservation (§3.1) — the invariant checker treats a second
+	// EvCreditRecv for a live sequence as a hard violation.
+	seen dedupWindow
+
 	creditsIn     uint64
 	creditsWasted uint64
+	creditsDup    uint64
 	dataSent      uint64
 }
 
@@ -261,6 +277,15 @@ func (sn *sender) OnPacket(p *packet.Packet) {
 		return
 	}
 	if p.Kind != packet.Credit {
+		packet.Put(p)
+		return
+	}
+	if sn.seen.dup(p.Seq) {
+		// A duplication impairment cloned this credit (or replayed a
+		// stale one). Decline it before any accounting: no EvCreditRecv,
+		// no window credit, no data emission — the clone is invisible to
+		// the credit-conservation ledger.
+		sn.creditsDup++
 		packet.Put(p)
 		return
 	}
@@ -500,6 +525,12 @@ type receiver struct {
 	delivered     uint64 // counted echoes this period (seq > gateSeq)
 	lost          uint64 // counted gap-inferred drops this period
 	prevHadSample bool   // previous period produced a feedback sample
+
+	// seen rejects duplicated data packets (keyed by echoed credit
+	// sequence) before they inflate BytesDelivered or masquerade as a
+	// late hole fill-in that would wrongly decrement the loss count.
+	seen    dedupWindow
+	dataDup uint64
 }
 
 // OnPacket handles control and data packets arriving at the receiver.
@@ -620,6 +651,15 @@ func (rc *receiver) sendCredit() {
 
 // onData accounts delivered bytes and updates the echo-gap loss counts.
 func (rc *receiver) onData(p *packet.Packet) {
+	if rc.seen.dup(p.CreditSeq) {
+		// A duplication impairment cloned this data packet. Drop the
+		// clone before delivery accounting: a double-counted payload
+		// would finish the flow early, and re-seeing a counted echo
+		// would wrongly decrement the gap-inferred loss count.
+		rc.dataDup++
+		packet.Put(p)
+		return
+	}
 	now := rc.host.Engine().Now()
 	f := rc.sess.Flow
 	wasFinished := f.Finished

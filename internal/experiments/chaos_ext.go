@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"expresspass/internal/core"
+	"expresspass/internal/faults"
+	"expresspass/internal/runner"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// The ext-chaos-* experiments pin how the credit-scheduled transport
+// degrades relative to the §6.3 baselines under the seeded impairment
+// suite (internal/netem + internal/faults): correlated and bursty loss,
+// duplication, corruption, bounded reordering, and delay/rate jitter,
+// plus recurring chaos schedules composed with the every{} grammar.
+// Every arm is expressed as a -faults spec string and parsed through
+// ParseSpec, so the experiments double as end-to-end coverage of the
+// grammar; a process-wide -faults plan (faults.SetDefault) replaces the
+// built-in arm, as in the ext-faults-* family.
+
+// chaosDumbbell builds an n-pair 10G dumbbell with the protocol's
+// switch features installed and one flow per pair dialed through the
+// protocol under test. size==0 makes the flows long-running.
+func chaosDumbbell(eng *sim.Engine, pr Proto, n int, size unit.Bytes,
+	stagger sim.Duration) (*topology.Dumbbell, []*transport.Flow) {
+	tcfg := topology.Config{LinkRate: 10 * unit.Gbps, LinkDelay: 4 * sim.Microsecond}
+	pr.Features(&tcfg, faultRTT)
+	d := topology.NewDumbbell(eng, n, tcfg)
+	if pr != ProtoExpressPass {
+		// Conn-based baselines pin serial execution; pre-declare the
+		// requirement before any -shards partitioning.
+		d.Net.RequireSerial()
+	}
+	env := &Env{Eng: eng, Net: d.Net, BaseRTT: faultRTT,
+		XP:   core.Config{Alpha: 1.0 / 16, WInit: 1.0 / 16},
+		Conn: transport.ConnConfig{MinRTO: sim.Millisecond}}
+	var flows []*transport.Flow
+	for i := 0; i < n; i++ {
+		f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i],
+			size, sim.Time(i)*sim.Time(stagger))
+		env.Dial(pr, f)
+		flows = append(flows, f)
+	}
+	return d, flows
+}
+
+// applyChaos installs the spec (or the process-wide -faults override)
+// onto the trial's network.
+func applyChaos(d *topology.Dumbbell, spec string) {
+	plan := faults.Default()
+	if plan.Empty() {
+		if spec == "" {
+			return
+		}
+		var err error
+		plan, err = faults.ParseSpec(spec)
+		if err != nil {
+			panic(err)
+		}
+	}
+	if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
+		panic(err)
+	}
+}
+
+// usec renders a duration as integer microseconds for spec strings.
+func usec(d sim.Duration) int64 { return int64(d / sim.Microsecond) }
+
+// ---- ext-chaos-matrix: impairment kinds × protocols ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-chaos-matrix",
+		Title: "chaos: impairment matrix (burst loss, dup, corrupt, reorder, jitter) × protocols",
+		Paper: "credit loss is self-healing (§3.1) and duplicated credits cannot double-spend; baselines pay in FCT and retransmissions",
+		Run:   runExtChaosMatrix,
+	})
+}
+
+func runExtChaosMatrix(p Params, w io.Writer) error {
+	deadline := p.scaleDur(100*sim.Millisecond, 30*sim.Millisecond)
+	n := p.scaleInt(8, 4)
+	size := 128 * unit.KB
+
+	// Each arm is a spec head; the timing suffix arms it for the whole
+	// run. Credit-class arms target the reverse bottleneck (swR->swL),
+	// the path credits actually traverse.
+	arms := []struct{ name, head string }{
+		{"clean", ""},
+		{"ge-loss-data", "gemodel:data:0.015:0.25"},
+		{"corr-loss-credit", "loss:credit:0.05:corr=0.6:swR->swL"},
+		{"dup-both", "dup:both:0.02; dup:both:0.02:swR->swL"},
+		{"corrupt-data", "corrupt:data:0.01"},
+		{"reorder", "reorder:0.05:20us"},
+		{"jitter-delay", "jitter:delay:pareto:5us"},
+		{"jitter-rate", "jitter:rate:normal:0.15"},
+	}
+	protos := EvalProtos()
+
+	type row struct {
+		arm, proto string
+		done       int
+		fct        string
+		drops      uint64
+		dups       uint64
+		corrupt    uint64
+		reorder    uint64
+	}
+	rows := runner.Map(len(arms)*len(protos), func(t *runner.T, cell int) row {
+		arm, pr := arms[cell/len(protos)], protos[cell%len(protos)]
+		eng := t.Engine(p.Seed)
+		d, flows := chaosDumbbell(eng, pr, n, size, 50*sim.Microsecond)
+		spec := ""
+		if arm.head != "" {
+			spec = armSpec(arm.head, 0, deadline)
+		}
+		applyChaos(d, spec)
+		eng.RunUntil(sim.Time(deadline))
+
+		done := 0
+		var fctSum sim.Duration
+		for _, f := range flows {
+			if f.Finished {
+				done++
+				fctSum += f.FCT()
+			}
+		}
+		fct := "-"
+		if done > 0 {
+			fct = fmt.Sprintf("%.2fms",
+				float64(fctSum)/float64(done)/float64(sim.Millisecond))
+		}
+		return row{
+			arm: arm.name, proto: string(pr),
+			done: done, fct: fct,
+			drops:   d.Net.TotalFaultDrops(),
+			dups:    d.Net.TotalDuplicates(),
+			corrupt: d.Net.TotalCorruptDrops(),
+			reorder: d.Net.TotalReorders(),
+		}
+	})
+
+	tbl := NewTable("chaos", "proto", "completed", "mean FCT", "drops", "dups", "corrupt", "reorder")
+	for _, r := range rows {
+		tbl.Add(r.arm, r.proto, fmt.Sprintf("%d/%d", r.done, n), r.fct,
+			r.drops, r.dups, r.corrupt, r.reorder)
+	}
+	tbl.Write(w)
+	return nil
+}
+
+// armSpec appends the '@start+dur' timing to every ';'-separated clause
+// of a spec head.
+func armSpec(head string, at sim.Time, dur sim.Duration) string {
+	var out []string
+	for _, c := range strings.Split(head, ";") {
+		out = append(out, fmt.Sprintf("%s@%dus+%dus",
+			strings.TrimSpace(c), usec(sim.Duration(at)), usec(dur)))
+	}
+	return strings.Join(out, "; ")
+}
+
+// ---- ext-chaos-storm: recurring chaos schedules × protocols ----
+
+func init() {
+	register(Experiment{
+		ID:    "ext-chaos-storm",
+		Title: "chaos: recurring every{} storms (flap train, rolling stalls, loss bursts) × protocols",
+		Paper: "the credit loop re-converges within RTTs after each occurrence; goodput recovers to the pre-storm level",
+		Run:   runExtChaosStorm,
+	})
+}
+
+func runExtChaosStorm(p Params, w io.Writer) error {
+	warm := p.scaleDur(10*sim.Millisecond, 3*sim.Millisecond)
+	preD := p.scaleDur(10*sim.Millisecond, 3*sim.Millisecond)
+	stormD := p.scaleDur(60*sim.Millisecond, 16*sim.Millisecond)
+	postD := p.scaleDur(20*sim.Millisecond, 6*sim.Millisecond)
+	stormAt := warm + sim.Time(preD)
+	period := stormD / 4
+	n := 4
+
+	storms := []struct{ name, spec string }{
+		{"flap-train", fmt.Sprintf(
+			"every:%dus:count=4{ flap@0us+%dus }@%dus+%dus",
+			usec(period), usec(period/8), usec(sim.Duration(stormAt)), usec(stormD))},
+		{"stall-wave", fmt.Sprintf(
+			"every:%dus:count=4:roll{ stall@0us+%dus }@%dus+%dus",
+			usec(period), usec(period/4), usec(sim.Duration(stormAt)), usec(stormD))},
+		{"loss-bursts", fmt.Sprintf(
+			"every:%dus:count=4:duty=0.25{ gemodel:data:0.08:0.25@0us+1us; gemodel:credit:0.08:0.25:swR->swL@0us+1us }@%dus+%dus",
+			usec(period), usec(sim.Duration(stormAt)), usec(stormD))},
+	}
+	protos := EvalProtos()
+
+	type row struct {
+		storm, proto    string
+		pre, dip, post  float64
+		drops, reorders uint64
+	}
+	rows := runner.Map(len(storms)*len(protos), func(t *runner.T, cell int) row {
+		storm, pr := storms[cell/len(protos)], protos[cell%len(protos)]
+		eng := t.Engine(p.Seed)
+		d, flows := chaosDumbbell(eng, pr, n, 0, 0)
+		applyChaos(d, storm.spec)
+
+		eng.RunUntil(warm)
+		sumDelivered(flows)
+		eng.RunFor(preD)
+		pre := gbps(sumDelivered(flows), preD)
+		eng.RunFor(stormD)
+		dip := gbps(sumDelivered(flows), stormD)
+		eng.RunFor(postD)
+		post := gbps(sumDelivered(flows), postD)
+		return row{
+			storm: storm.name, proto: string(pr),
+			pre: pre, dip: dip, post: post,
+			drops: d.Net.TotalFaultDrops(), reorders: d.Net.TotalReorders(),
+		}
+	})
+
+	tbl := NewTable("storm", "proto", "pre Gbps", "storm Gbps", "post Gbps", "drops")
+	for _, r := range rows {
+		tbl.Add(r.storm, r.proto, r.pre, r.dip, r.post, r.drops)
+	}
+	tbl.Write(w)
+	return nil
+}

@@ -120,7 +120,7 @@ func runExtFaultsFlap(p Params, w io.Writer) error {
 		d, flows, sessions := faultDumbbell(eng, 4)
 		registerFaultMetrics(d.Net, sessions)
 		faultAt := warm + sim.Time(preD)
-		if plan := faults.Default(); plan != nil {
+		if plan := faults.Default(); !plan.Empty() {
 			if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
 				panic(err)
 			}
@@ -221,7 +221,7 @@ func runExtFaultsLoss(p Params, w io.Writer) error {
 			flows = append(flows, f)
 		}
 		registerFaultMetrics(d.Net, sessions)
-		if plan := faults.Default(); plan != nil {
+		if plan := faults.Default(); !plan.Empty() {
 			if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
 				panic(err)
 			}
@@ -301,7 +301,7 @@ func runExtFaultsStall(p Params, w io.Writer) error {
 		d, flows, sessions := faultDumbbell(eng, 2)
 		registerFaultMetrics(d.Net, sessions)
 		faultAt := warm + sim.Time(preD)
-		if plan := faults.Default(); plan != nil {
+		if plan := faults.Default(); !plan.Empty() {
 			if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
 				panic(err)
 			}

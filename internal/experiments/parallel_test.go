@@ -45,6 +45,11 @@ var gateScale = map[string]float64{
 	"ext-faults-flap":  0.06,
 	"ext-faults-loss":  0.06,
 	"ext-faults-stall": 0.06,
+
+	// Chaos-impairment experiments: like the fault timelines, their
+	// runtimes floor at a few ms of simulated time per trial.
+	"ext-chaos-matrix": 0.06,
+	"ext-chaos-storm":  0.06,
 }
 
 // gateHeavy marks the realistic-workload experiments whose cost is

@@ -1,8 +1,13 @@
 // Package faults injects deterministic, event-scheduled faults into a
 // running simulation: hard link flaps with routing reconvergence, seeded
-// per-class stochastic loss windows on individual ports, and host-side
-// credit-processing stalls. Every fault is an ordinary engine event, so
-// fault timelines replay bit-for-bit under any seed and survive the
+// per-class stochastic loss windows on individual ports, host-side
+// credit-processing stalls, and — the impairment suite — correlated
+// loss chains (Gilbert-Elliott, 4-state Markov, correlated Bernoulli),
+// packet duplication, in-flight corruption, bounded reordering, and
+// delay/rate jitter with pluggable distributions, plus a chaos-schedule
+// layer that composes any of them into recurring storms (see spec.go).
+// Every fault is an ordinary engine event driven by forked RNG streams,
+// so fault timelines replay bit-for-bit under any seed and survive the
 // serial-vs-parallel byte-compare gate unchanged.
 //
 // The paper's robustness story motivates all three fault kinds: credit
@@ -77,6 +82,179 @@ func (in *Injector) Loss(p *netem.Port, creditRate, dataRate float64, at sim.Tim
 	in.eng.At(at+dur, func() {
 		p.SetFaultLoss(0, 0, nil)
 		in.emit(obs.EvFaultEnd, scope, creditRate, dataRate)
+	})
+}
+
+// GEModelLoss opens a Gilbert-Elliott correlated-loss window on p's
+// egress from `at` for dur (see GEModel for the chain). class selects
+// which queue class the chain governs ("credit", "data", or "both" —
+// "both" installs two independent chains so the classes' drop patterns
+// stay uncoupled). RNG streams are forked from the engine stream at the
+// window-open event, so the burst pattern is a pure function of the run
+// seed. Correlated loss only removes packets, so every invariant check
+// stays armed through the window.
+func (in *Injector) GEModelLoss(p *netem.Port, class string, gp, r, h, k float64, at sim.Time, dur sim.Duration) {
+	scope := "gemodel:" + p.Name()
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, gp, r)
+		var credit, data netem.LossModel
+		if class != "data" {
+			credit = NewGEModel(gp, r, h, k, in.eng.Rand().Fork())
+		}
+		if class != "credit" {
+			data = NewGEModel(gp, r, h, k, in.eng.Rand().Fork())
+		}
+		p.SetLossModel(credit, data)
+	})
+	in.eng.At(at+dur, func() {
+		p.SetLossModel(nil, nil)
+		in.emit(obs.EvFaultEnd, scope, gp, r)
+	})
+}
+
+// StateLoss opens a 4-state Markov loss window on p's egress (see
+// FourState; tc netem "loss state" semantics and parameter naming).
+// class selects the governed queue class as in GEModelLoss.
+func (in *Injector) StateLoss(p *netem.Port, class string, p13, p31, p23, p32, p14 float64, at sim.Time, dur sim.Duration) {
+	scope := "state:" + p.Name()
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, p13, p31)
+		var credit, data netem.LossModel
+		if class != "data" {
+			credit = NewFourState(p13, p31, p23, p32, p14, in.eng.Rand().Fork())
+		}
+		if class != "credit" {
+			data = NewFourState(p13, p31, p23, p32, p14, in.eng.Rand().Fork())
+		}
+		p.SetLossModel(credit, data)
+	})
+	in.eng.At(at+dur, func() {
+		p.SetLossModel(nil, nil)
+		in.emit(obs.EvFaultEnd, scope, p13, p31)
+	})
+}
+
+// CorrelatedLoss opens a correlated-Bernoulli loss window on p's egress:
+// stationary rate exactly `rate`, burstiness set by corr ∈ [0, 1) (see
+// CorrelatedBernoulli). class selects the governed queue class as in
+// GEModelLoss.
+func (in *Injector) CorrelatedLoss(p *netem.Port, class string, rate, corr float64, at sim.Time, dur sim.Duration) {
+	scope := "corrloss:" + p.Name()
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, rate, corr)
+		var credit, data netem.LossModel
+		if class != "data" {
+			credit = NewCorrelatedBernoulli(rate, corr, in.eng.Rand().Fork())
+		}
+		if class != "credit" {
+			data = NewCorrelatedBernoulli(rate, corr, in.eng.Rand().Fork())
+		}
+		p.SetLossModel(credit, data)
+	})
+	in.eng.At(at+dur, func() {
+		p.SetLossModel(nil, nil)
+		in.emit(obs.EvFaultEnd, scope, rate, corr)
+	})
+}
+
+// Duplicate opens a duplication window on p's egress: each admitted
+// packet of the selected class is cloned with the given probability and
+// the clone queued right behind the original. Endpoint dedup windows
+// must make clones no-ops for credit conservation (the invariant
+// checker's dup-delivery check stays armed to prove it), but duplicated
+// data is extra uncredited load — the positional queue/delay findings
+// are voided for the run.
+func (in *Injector) Duplicate(p *netem.Port, class string, rate float64, at sim.Time, dur sim.Duration) {
+	scope := "dup:" + p.Name()
+	var cr, dr float64
+	if class != "data" {
+		cr = rate
+	}
+	if class != "credit" {
+		dr = rate
+	}
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, cr, dr)
+		p.SetDuplication(cr, dr, in.eng.Rand().Fork())
+	})
+	in.eng.At(at+dur, func() {
+		p.SetDuplication(0, 0, nil)
+		in.emit(obs.EvFaultEnd, scope, cr, dr)
+	})
+}
+
+// Corrupt opens a corruption window on p's egress: each admitted packet
+// of the selected class is damaged with the given probability, forwarded
+// normally (cut-through switches do not verify CRC), and dropped by the
+// destination host's NIC CRC check with an EvCorruptDrop trace event.
+// Corruption only removes packets from the transport's view, so every
+// invariant check stays armed.
+func (in *Injector) Corrupt(p *netem.Port, class string, rate float64, at sim.Time, dur sim.Duration) {
+	scope := "corrupt:" + p.Name()
+	var cr, dr float64
+	if class != "data" {
+		cr = rate
+	}
+	if class != "credit" {
+		dr = rate
+	}
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, cr, dr)
+		p.SetCorruption(cr, dr, in.eng.Rand().Fork())
+	})
+	in.eng.At(at+dur, func() {
+		p.SetCorruption(0, 0, nil)
+		in.emit(obs.EvFaultEnd, scope, cr, dr)
+	})
+}
+
+// Reorder opens a bounded-reordering window on p's egress: each
+// departing packet is, with the given probability, held on the wire for
+// an extra uniform delay in [1, maxExtra], letting later packets
+// overtake it. The extra delay is strictly additive, so sharded-run
+// lookahead stays sound; positional queue/delay findings are voided
+// (held-back packets arrive in clusters).
+func (in *Injector) Reorder(p *netem.Port, rate float64, maxExtra sim.Duration, at sim.Time, dur sim.Duration) {
+	scope := "reorder:" + p.Name()
+	ms := float64(maxExtra) / float64(sim.Millisecond)
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, rate, ms)
+		p.SetReorder(rate, maxExtra, in.eng.Rand().Fork())
+	})
+	in.eng.At(at+dur, func() {
+		p.SetReorder(0, 0, nil)
+		in.emit(obs.EvFaultEnd, scope, rate, ms)
+	})
+}
+
+// DelayJitter opens a propagation-jitter window on p's egress: every
+// departing packet suffers extra wire delay drawn from dist
+// (DistUniform/DistNormal/DistPareto) with the given mean.
+func (in *Injector) DelayJitter(p *netem.Port, dist string, mean sim.Duration, at sim.Time, dur sim.Duration) {
+	scope := "jitter-delay:" + p.Name()
+	ms := float64(mean) / float64(sim.Millisecond)
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, ms, 0)
+		p.SetDelayJitter(DelaySampler(dist, mean, in.eng.Rand().Fork()))
+	})
+	in.eng.At(at+dur, func() {
+		p.SetDelayJitter(nil)
+		in.emit(obs.EvFaultEnd, scope, ms, 0)
+	})
+}
+
+// RateJitter opens a serialization-jitter window on p's egress: every
+// transmission is stretched by a factor (1+f) with f drawn from dist
+// with the given mean fraction — duty-cycled line-rate degradation.
+func (in *Injector) RateJitter(p *netem.Port, dist string, mean float64, at sim.Time, dur sim.Duration) {
+	scope := "jitter-rate:" + p.Name()
+	in.eng.At(at, func() {
+		in.emit(obs.EvFaultStart, scope, mean, 0)
+		p.SetRateJitter(RateSampler(dist, mean, in.eng.Rand().Fork()))
+	})
+	in.eng.At(at+dur, func() {
+		p.SetRateJitter(nil)
+		in.emit(obs.EvFaultEnd, scope, mean, 0)
 	})
 }
 

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"expresspass/internal/core"
+	"expresspass/internal/obs"
+	"expresspass/internal/sim"
+	"expresspass/internal/topology"
+	"expresspass/internal/transport"
+	"expresspass/internal/unit"
+)
+
+// evCountSink tallies recorded events by type.
+type evCountSink struct{ starts, ends []obs.Event }
+
+func (s *evCountSink) Record(ev obs.Event) {
+	switch ev.Type {
+	case obs.EvFaultStart:
+		s.starts = append(s.starts, ev)
+	case obs.EvFaultEnd:
+		s.ends = append(s.ends, ev)
+	}
+}
+func (s *evCountSink) Close() error { return nil }
+
+// TestInjectorFullImpairmentTimeline drives every impairment kind —
+// parsed from one spec string — through a live dumbbell: each window
+// must emit its EvFaultStart/EvFaultEnd pair, and each destructive
+// impairment must leave its mark in the network's fault accounting.
+func TestInjectorFullImpairmentTimeline(t *testing.T) {
+	eng := sim.New(3)
+	d := topology.NewDumbbell(eng, 2, topology.Config{LinkRate: 10 * unit.Gbps})
+	sink := &evCountSink{}
+	d.Net.SetTracer(obs.NewTracer(sink, obs.EvFaultStart, obs.EvFaultEnd))
+
+	var flows []*transport.Flow
+	for i := 0; i < 2; i++ {
+		f := transport.NewFlow(d.Net, d.Senders[i], d.Receivers[i], 2*unit.MB, 0)
+		core.Dial(f, core.Config{})
+		flows = append(flows, f)
+	}
+
+	// One window per kind, each on its own port so no clear tramples
+	// another install, plus a rolling flap schedule at the tail.
+	spec := strings.Join([]string{
+		"gemodel:both:0.2:0.5@50us+2ms",
+		"state:credit:0.2:swR->swL@50us+2ms",
+		"loss:data:0.1:corr=0.5:s0->swL@50us+2ms",
+		"dup:both:0.3:s1->swL@50us+2ms",
+		"corrupt:data:0.2:swR->r0@50us+2ms",
+		"reorder:0.3:10us:swR->r1@50us+2ms",
+		"jitter:delay:uniform:2us:r0->swR@50us+2ms",
+		"jitter:rate:normal:0.2:r1->swR@50us+2ms",
+		"stall:s0@1ms+200us",
+		"flap:swL->s0@2500us+100us",
+		"every:500us:count=3:roll{ flap@0us+50us }@4ms+1500us",
+	}, "; ")
+	plan, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Apply(d.Net, d.Bottleneck); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(sim.Time(8 * sim.Millisecond))
+
+	// 10 one-shot windows plus 3 schedule occurrences.
+	if len(sink.starts) != 13 || len(sink.ends) != 13 {
+		t.Fatalf("fault events: %d starts / %d ends, want 13/13",
+			len(sink.starts), len(sink.ends))
+	}
+	// The rolling flaps must rotate across distinct ports.
+	rolled := map[string]bool{}
+	for _, ev := range sink.starts {
+		if strings.HasPrefix(ev.Scope, "flap:") {
+			rolled[ev.Scope] = true
+		}
+	}
+	if len(rolled) < 4 { // the one-shot flap plus 3 distinct rolled ports
+		t.Fatalf("roll rotation hit only %d distinct flap scopes: %v", len(rolled), rolled)
+	}
+	if d.Net.TotalFaultDrops() == 0 {
+		t.Fatal("loss chains destroyed nothing")
+	}
+	if d.Net.TotalDuplicates() == 0 {
+		t.Fatal("duplication cloned nothing")
+	}
+	if d.Net.TotalCorruptDrops() == 0 {
+		t.Fatal("corruption was never CRC-dropped at the destination")
+	}
+	if d.Net.TotalReorders() == 0 {
+		t.Fatal("reordering held nothing back")
+	}
+}
+
+func TestConfigErrorWithoutClause(t *testing.T) {
+	e := &ConfigError{Spec: "", Msg: "empty spec"}
+	if got := e.Error(); !strings.Contains(got, "empty spec") {
+		t.Fatalf("Error() = %q, want the message included", got)
+	}
+}

@@ -9,113 +9,503 @@ import (
 	"expresspass/internal/sim"
 )
 
-// Directive is one parsed fault from a spec string.
+// ConfigError reports a malformed fault spec with enough position
+// information to point at the offending clause: Pos is the byte offset
+// of Clause within Spec. Retrieve it with errors.As to build tooling on
+// top of the parser; Error() renders everything for humans.
+type ConfigError struct {
+	Spec   string // the full spec string being parsed
+	Clause string // the clause that failed (trimmed)
+	Pos    int    // byte offset of Clause within Spec
+	Msg    string // what is wrong with it
+}
+
+func (e *ConfigError) Error() string {
+	if e.Clause == "" {
+		return fmt.Sprintf("faults: %s in spec %q", e.Msg, e.Spec)
+	}
+	return fmt.Sprintf("faults: clause %q (at offset %d): %s", e.Clause, e.Pos, e.Msg)
+}
+
+// Directive is one parsed impairment from a spec string. It is a flat
+// all-scalar struct (comparable with ==) whose fields beyond Kind,
+// Target, At, and Dur are populated per kind as the grammar below
+// documents.
 type Directive struct {
-	Kind   string // "flap", "loss", or "stall"
+	Kind   string // flap|loss|stall|gemodel|state|dup|corrupt|reorder|jitter
 	Target string // port name, host name, or "" for the scenario default
 
-	// Loss rates (Kind == "loss" only).
+	// Class is the governed queue class for classed kinds
+	// (loss/gemodel/state/dup/corrupt): credit|data|both.
+	Class string
+
+	// Loss rates (Kind == "loss"): the legacy per-class split.
 	CreditRate float64
 	DataRate   float64
 
-	At  sim.Time     // when the fault starts
+	// Rate is the generic probability parameter: loss rate (loss with
+	// corr, dup, corrupt) or the per-packet reorder probability.
+	Rate float64
+	// Corr is the correlation of a correlated-Bernoulli loss window.
+	Corr float64
+
+	// Gilbert-Elliott parameters (Kind == "gemodel").
+	P, R, H, K float64
+
+	// 4-state Markov parameters (Kind == "state").
+	P13, P31, P23, P32, P14 float64
+
+	// MaxExtra bounds a reorder window's extra wire delay.
+	MaxExtra sim.Duration
+
+	// Jitter parameters (Kind == "jitter"): Axis is delay|rate, Dist is
+	// uniform|normal|pareto, Mean is the mean extra delay in picoseconds
+	// (delay axis) or the mean stretch fraction (rate axis).
+	Axis string
+	Dist string
+	Mean float64
+
+	At  sim.Time     // when the impairment starts
 	Dur sim.Duration // how long it lasts
 }
 
-// Plan is an ordered fault timeline.
-type Plan []Directive
+// Schedule is one recurring chaos schedule parsed from an every{} clause:
+// the Inner directives replay at At, At+Period, At+2·Period, … (plus a
+// uniform random offset in [0, Jitter] per occurrence) until At+Dur or
+// Count occurrences, whichever comes first. Inner directive At fields
+// are offsets within each occurrence. Duty, when set, overrides every
+// inner duration to Duty·Period. Roll rotates unset inner targets across
+// the network's hosts (stalls) or ports (everything else) by occurrence
+// index — a rolling stall wave or roaming flap storm.
+type Schedule struct {
+	Period sim.Duration
+	Jitter sim.Duration
+	Count  int
+	Duty   float64
+	Roll   bool
+	At     sim.Time
+	Dur    sim.Duration
+	Inner  []Directive
+}
 
-// ParseSpec parses a fault timeline. Grammar (';'-separated directives,
-// whitespace ignored):
+// Plan is an ordered fault timeline: one-shot directives plus recurring
+// chaos schedules.
+type Plan struct {
+	Directives []Directive
+	Schedules  []Schedule
+}
+
+// Empty reports whether the plan schedules nothing.
+func (pl Plan) Empty() bool { return len(pl.Directives) == 0 && len(pl.Schedules) == 0 }
+
+// ParseSpec parses a fault timeline. Grammar: ';'-separated clauses
+// (whitespace ignored; ';' inside an every{…} body belongs to the body),
+// each either a one-shot impairment
 //
 //	flap[:<port>]@<start>+<dur>
-//	loss:<class>:<rate>[:<port>]@<start>+<dur>    class ∈ credit|data|both
 //	stall[:<host>]@<start>+<dur>
+//	loss:<class>:<rate>[:corr=<c>][:<port>]@<start>+<dur>
+//	gemodel:<class>:<p>:<r>[:h=<x>][:k=<x>][:<port>]@<start>+<dur>
+//	state:<class>:<p13>[:p31=<x>][:p23=<x>][:p32=<x>][:p14=<x>][:<port>]@<start>+<dur>
+//	dup:<class>:<rate>[:<port>]@<start>+<dur>
+//	corrupt:<class>:<rate>[:<port>]@<start>+<dur>
+//	reorder:<rate>:<maxdelay>[:<port>]@<start>+<dur>
+//	jitter:delay:<dist>:<mean-dur>[:<port>]@<start>+<dur>
+//	jitter:rate:<dist>:<mean-frac>[:<port>]@<start>+<dur>
 //
-// Times are <number><unit> with unit ns|us|µs|ms|s. An omitted port
-// resolves to the scenario's bottleneck at Apply time; an omitted host
-// resolves to the scenario's first host. Example:
+// or a recurring chaos schedule composing them
 //
-//	flap@10ms+2ms; loss:credit:0.05@20ms+5ms; stall:s0@30ms+1ms
+//	every:<period>[:jitter=<dur>][:count=<n>][:duty=<f>][:roll]{ <inner>; … }@<start>+<total>
+//
+// with class ∈ credit|data|both, dist ∈ uniform|normal|pareto, and times
+// as <number><unit>, unit ∈ ns|us|µs|ms|s. Inside every{}, inner clause
+// start times are offsets from each occurrence. An omitted port resolves
+// to the scenario's bottleneck at Apply time; an omitted host to the
+// first host. The 4-state defaults mirror tc netem: p31 = 1−p13,
+// p23 = 1, p32 = 0, p14 = 0. Examples:
+//
+//	gemodel:credit:0.02:0.3@10ms+40ms; dup:data:0.01@20ms+5ms
+//	every:20ms:count=3:roll{ stall@0ms+2ms }@10ms+80ms
+//
+// Malformed specs return a *ConfigError naming the offending clause and
+// its byte offset.
 func ParseSpec(spec string) (Plan, error) {
 	var plan Plan
-	for _, raw := range strings.Split(spec, ";") {
-		raw = strings.TrimSpace(raw)
-		if raw == "" {
+	clauses, err := splitClauses(spec)
+	if err != nil {
+		return Plan{}, err
+	}
+	for _, cl := range clauses {
+		if strings.HasPrefix(cl.text, "every:") || cl.text == "every" {
+			sc, err := parseSchedule(spec, cl)
+			if err != nil {
+				return Plan{}, err
+			}
+			plan.Schedules = append(plan.Schedules, sc)
 			continue
 		}
-		d, err := parseDirective(raw)
+		d, err := parseDirective(spec, cl)
 		if err != nil {
-			return nil, err
+			return Plan{}, err
 		}
-		plan = append(plan, d)
+		plan.Directives = append(plan.Directives, d)
 	}
-	if len(plan) == 0 {
-		return nil, fmt.Errorf("faults: empty spec %q", spec)
+	if plan.Empty() {
+		return Plan{}, &ConfigError{Spec: spec, Msg: "empty spec"}
 	}
 	return plan, nil
 }
 
-func parseDirective(s string) (Directive, error) {
+// clause is one top-level spec clause with its position in the spec.
+type clause struct {
+	text string
+	pos  int
+}
+
+func (c clause) errorf(spec, format string, args ...any) *ConfigError {
+	return &ConfigError{Spec: spec, Clause: c.text, Pos: c.pos,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
+// splitClauses splits spec on top-level ';' — a ';' inside an every{…}
+// body stays with its clause — and records each clause's byte offset.
+func splitClauses(spec string) ([]clause, error) {
+	var out []clause
+	depth, start := 0, 0
+	flush := func(end int) {
+		raw := spec[start:end]
+		trimmed := strings.TrimSpace(raw)
+		if trimmed != "" {
+			out = append(out, clause{text: trimmed, pos: start + strings.Index(raw, trimmed[:1])})
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(spec); i++ {
+		switch spec[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return nil, &ConfigError{Spec: spec, Clause: spec[start : i+1], Pos: start,
+					Msg: "unbalanced '}'"}
+			}
+		case ';':
+			if depth == 0 {
+				flush(i)
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, &ConfigError{Spec: spec, Clause: strings.TrimSpace(spec[start:]), Pos: start,
+			Msg: "unterminated '{' in every{...} clause"}
+	}
+	flush(len(spec))
+	return out, nil
+}
+
+// splitTiming cuts "<head>@<start>+<dur>" and parses the times.
+func splitTiming(spec string, cl clause) (head string, at sim.Time, dur sim.Duration, err error) {
+	head, timing, ok := strings.Cut(cl.text, "@")
+	if !ok {
+		return "", 0, 0, cl.errorf(spec, "missing '@<start>+<dur>'")
+	}
+	at, dur, err = parseTiming(spec, cl, timing)
+	return head, at, dur, err
+}
+
+// parseTiming parses "<start>+<dur>".
+func parseTiming(spec string, cl clause, timing string) (at sim.Time, dur sim.Duration, err error) {
+	start, durStr, ok := strings.Cut(timing, "+")
+	if !ok {
+		return 0, 0, cl.errorf(spec, "missing '+<dur>' after start")
+	}
+	atd, derr := parseDur(start)
+	if derr != nil {
+		return 0, 0, cl.errorf(spec, "bad start: %v", derr)
+	}
+	dur, derr = parseDur(durStr)
+	if derr != nil {
+		return 0, 0, cl.errorf(spec, "bad duration: %v", derr)
+	}
+	if dur <= 0 {
+		return 0, 0, cl.errorf(spec, "duration must be positive")
+	}
+	return sim.Time(atd), dur, nil
+}
+
+func parseDirective(spec string, cl clause) (Directive, error) {
 	var d Directive
-	head, timing, ok := strings.Cut(s, "@")
-	if !ok {
-		return d, fmt.Errorf("faults: directive %q missing '@<start>+<dur>'", s)
+	head, at, dur, err := splitTiming(spec, cl)
+	if err != nil {
+		return d, err
 	}
-	start, dur, ok := strings.Cut(timing, "+")
-	if !ok {
-		return d, fmt.Errorf("faults: directive %q missing '+<dur>' after start", s)
-	}
-	var err error
-	if at, err := parseDur(start); err != nil {
-		return d, fmt.Errorf("faults: directive %q: bad start: %v", s, err)
-	} else {
-		d.At = sim.Time(at)
-	}
-	if d.Dur, err = parseDur(dur); err != nil {
-		return d, fmt.Errorf("faults: directive %q: bad duration: %v", s, err)
-	}
-	if d.Dur <= 0 {
-		return d, fmt.Errorf("faults: directive %q: duration must be positive", s)
-	}
+	d.At, d.Dur = at, dur
 
 	fields := strings.Split(head, ":")
-	d.Kind = strings.TrimSpace(fields[0])
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	d.Kind = fields[0]
 	args := fields[1:]
+
+	// prob parses a probability argument in [0, 1].
+	prob := func(s, what string) (float64, error) {
+		v, perr := strconv.ParseFloat(s, 64)
+		if perr != nil || v < 0 || v > 1 {
+			return 0, cl.errorf(spec, "%s %q must be in [0,1]", what, s)
+		}
+		return v, nil
+	}
+	// tail consumes optional key=val arguments then at most one target.
+	tail := func(args []string, keys map[string]func(string) error) error {
+		for _, a := range args {
+			if k, v, ok := strings.Cut(a, "="); ok {
+				if set := keys[k]; set != nil {
+					if err := set(v); err != nil {
+						return err
+					}
+					continue
+				}
+				return cl.errorf(spec, "unknown option %q", k)
+			}
+			if d.Target != "" {
+				return cl.errorf(spec, "multiple targets (%q and %q)", d.Target, a)
+			}
+			if a == "" {
+				return cl.errorf(spec, "empty argument")
+			}
+			d.Target = a
+		}
+		return nil
+	}
+	class := func(s string) error {
+		switch s {
+		case "credit", "data", "both":
+			d.Class = s
+			return nil
+		}
+		return cl.errorf(spec, "class %q must be credit|data|both", s)
+	}
+
 	switch d.Kind {
 	case "flap", "stall":
-		switch len(args) {
-		case 0:
-		case 1:
-			d.Target = strings.TrimSpace(args[0])
-		default:
-			return d, fmt.Errorf("faults: %s takes at most one ':<target>' argument in %q", d.Kind, s)
+		if err := tail(args, nil); err != nil {
+			return d, err
 		}
 	case "loss":
-		if len(args) < 2 || len(args) > 3 {
-			return d, fmt.Errorf("faults: loss needs ':<class>:<rate>[:<target>]' in %q", s)
+		if len(args) < 2 {
+			return d, cl.errorf(spec, "loss needs ':<class>:<rate>[:corr=<c>][:<target>]'")
 		}
-		rate, err := strconv.ParseFloat(strings.TrimSpace(args[1]), 64)
-		if err != nil || rate < 0 || rate > 1 {
-			return d, fmt.Errorf("faults: loss rate %q must be in [0,1] in %q", args[1], s)
+		if err := class(args[0]); err != nil {
+			return d, err
 		}
-		switch class := strings.TrimSpace(args[0]); class {
-		case "credit":
-			d.CreditRate = rate
-		case "data":
-			d.DataRate = rate
-		case "both":
-			d.CreditRate, d.DataRate = rate, rate
-		default:
-			return d, fmt.Errorf("faults: loss class %q must be credit|data|both in %q", class, s)
+		if d.Rate, err = prob(args[1], "loss rate"); err != nil {
+			return d, err
 		}
-		if len(args) == 3 {
-			d.Target = strings.TrimSpace(args[2])
+		if d.Class != "data" {
+			d.CreditRate = d.Rate
+		}
+		if d.Class != "credit" {
+			d.DataRate = d.Rate
+		}
+		if err := tail(args[2:], map[string]func(string) error{
+			"corr": func(v string) (e error) { d.Corr, e = prob(v, "corr"); return },
+		}); err != nil {
+			return d, err
+		}
+	case "gemodel":
+		if len(args) < 3 {
+			return d, cl.errorf(spec, "gemodel needs ':<class>:<p>:<r>[:h=][:k=][:<target>]'")
+		}
+		if err := class(args[0]); err != nil {
+			return d, err
+		}
+		if d.P, err = prob(args[1], "p"); err != nil {
+			return d, err
+		}
+		if d.R, err = prob(args[2], "r"); err != nil {
+			return d, err
+		}
+		if d.P <= 0 || d.R <= 0 {
+			return d, cl.errorf(spec, "gemodel p and r must be positive (got p=%g r=%g)", d.P, d.R)
+		}
+		d.K = 1 // classic Gilbert: lossless Good, total loss in Bad
+		if err := tail(args[3:], map[string]func(string) error{
+			"h": func(v string) (e error) { d.H, e = prob(v, "h"); return },
+			"k": func(v string) (e error) { d.K, e = prob(v, "k"); return },
+		}); err != nil {
+			return d, err
+		}
+	case "state":
+		if len(args) < 2 {
+			return d, cl.errorf(spec, "state needs ':<class>:<p13>[:p31=][:p23=][:p32=][:p14=][:<target>]'")
+		}
+		if err := class(args[0]); err != nil {
+			return d, err
+		}
+		if d.P13, err = prob(args[1], "p13"); err != nil {
+			return d, err
+		}
+		// tc netem defaults: p31 = 1−p13, p23 = 1, p32 = 0, p14 = 0.
+		d.P31, d.P23 = 1-d.P13, 1
+		if err := tail(args[2:], map[string]func(string) error{
+			"p31": func(v string) (e error) { d.P31, e = prob(v, "p31"); return },
+			"p23": func(v string) (e error) { d.P23, e = prob(v, "p23"); return },
+			"p32": func(v string) (e error) { d.P32, e = prob(v, "p32"); return },
+			"p14": func(v string) (e error) { d.P14, e = prob(v, "p14"); return },
+		}); err != nil {
+			return d, err
+		}
+		if d.P13+d.P14 > 1 || d.P31+d.P32 > 1 {
+			return d, cl.errorf(spec, "state transition probabilities exceed 1 (p13+p14=%g, p31+p32=%g)",
+				d.P13+d.P14, d.P31+d.P32)
+		}
+	case "dup", "corrupt":
+		if len(args) < 2 {
+			return d, cl.errorf(spec, "%s needs ':<class>:<rate>[:<target>]'", d.Kind)
+		}
+		if err := class(args[0]); err != nil {
+			return d, err
+		}
+		if d.Rate, err = prob(args[1], d.Kind+" rate"); err != nil {
+			return d, err
+		}
+		if err := tail(args[2:], nil); err != nil {
+			return d, err
+		}
+	case "reorder":
+		if len(args) < 2 {
+			return d, cl.errorf(spec, "reorder needs ':<rate>:<maxdelay>[:<target>]'")
+		}
+		if d.Rate, err = prob(args[0], "reorder rate"); err != nil {
+			return d, err
+		}
+		me, derr := parseDur(args[1])
+		if derr != nil || me <= 0 {
+			return d, cl.errorf(spec, "bad reorder maxdelay %q", args[1])
+		}
+		d.MaxExtra = me
+		if err := tail(args[2:], nil); err != nil {
+			return d, err
+		}
+	case "jitter":
+		if len(args) < 3 {
+			return d, cl.errorf(spec, "jitter needs ':delay|rate:<dist>:<mean>[:<target>]'")
+		}
+		d.Axis = args[0]
+		if d.Axis != "delay" && d.Axis != "rate" {
+			return d, cl.errorf(spec, "jitter axis %q must be delay|rate", d.Axis)
+		}
+		d.Dist = args[1]
+		if !ValidDist(d.Dist) {
+			return d, cl.errorf(spec, "jitter distribution %q must be uniform|normal|pareto", d.Dist)
+		}
+		if d.Axis == "delay" {
+			m, derr := parseDur(args[2])
+			if derr != nil || m <= 0 {
+				return d, cl.errorf(spec, "bad jitter mean delay %q", args[2])
+			}
+			d.Mean = float64(m)
+		} else {
+			m, perr := strconv.ParseFloat(args[2], 64)
+			if perr != nil || m <= 0 {
+				return d, cl.errorf(spec, "bad jitter mean fraction %q", args[2])
+			}
+			d.Mean = m
+		}
+		if err := tail(args[3:], nil); err != nil {
+			return d, err
 		}
 	default:
-		return d, fmt.Errorf("faults: unknown fault kind %q in %q", d.Kind, s)
+		return d, cl.errorf(spec, "unknown fault kind %q", d.Kind)
 	}
 	return d, nil
+}
+
+// parseSchedule parses an every{...} clause into a Schedule. Its timing
+// follows the closing brace — "every:…{ … }@<start>+<total>" — so the
+// inner directives' own '@' signs stay with the body.
+func parseSchedule(spec string, cl clause) (Schedule, error) {
+	var sc Schedule
+	open := strings.IndexByte(cl.text, '{')
+	closing := strings.LastIndexByte(cl.text, '}')
+	if open < 0 || closing < open {
+		return sc, cl.errorf(spec, "every needs an '{ <inner>; ... }' body")
+	}
+	after := strings.TrimSpace(cl.text[closing+1:])
+	if !strings.HasPrefix(after, "@") {
+		return sc, cl.errorf(spec, "every needs '@<start>+<total>' after the '}'")
+	}
+	at, dur, err := parseTiming(spec, cl, after[1:])
+	if err != nil {
+		return sc, err
+	}
+	sc.At, sc.Dur = at, dur
+
+	body := strings.TrimSpace(cl.text[open+1 : closing])
+	params := strings.Split(strings.TrimSpace(cl.text[:open]), ":")
+	if len(params) < 2 || params[0] != "every" {
+		return sc, cl.errorf(spec, "every needs ':<period>' before the body")
+	}
+	period, derr := parseDur(params[1])
+	if derr != nil || period <= 0 {
+		return sc, cl.errorf(spec, "bad every period %q", params[1])
+	}
+	sc.Period = period
+	for _, p := range params[2:] {
+		p = strings.TrimSpace(p)
+		if p == "roll" {
+			sc.Roll = true
+			continue
+		}
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			return sc, cl.errorf(spec, "bad every option %q (want jitter=|count=|duty=|roll)", p)
+		}
+		switch k {
+		case "jitter":
+			j, jerr := parseDur(v)
+			if jerr != nil {
+				return sc, cl.errorf(spec, "bad every jitter %q", v)
+			}
+			sc.Jitter = j
+		case "count":
+			n, nerr := strconv.Atoi(v)
+			if nerr != nil || n <= 0 {
+				return sc, cl.errorf(spec, "bad every count %q", v)
+			}
+			sc.Count = n
+		case "duty":
+			f, ferr := strconv.ParseFloat(v, 64)
+			if ferr != nil || f <= 0 || f > 1 {
+				return sc, cl.errorf(spec, "every duty %q must be in (0,1]", v)
+			}
+			sc.Duty = f
+		default:
+			return sc, cl.errorf(spec, "unknown every option %q", k)
+		}
+	}
+
+	for _, inner := range strings.Split(body, ";") {
+		inner = strings.TrimSpace(inner)
+		if inner == "" {
+			continue
+		}
+		icl := clause{text: inner, pos: cl.pos + strings.Index(cl.text, inner)}
+		if strings.HasPrefix(inner, "every") {
+			return sc, icl.errorf(spec, "every{} bodies cannot nest")
+		}
+		d, err := parseDirective(spec, icl)
+		if err != nil {
+			return sc, err
+		}
+		sc.Inner = append(sc.Inner, d)
+	}
+	if len(sc.Inner) == 0 {
+		return sc, cl.errorf(spec, "every{} body is empty")
+	}
+	return sc, nil
 }
 
 // parseDur parses "<number><unit>" with unit ns|us|µs|ms|s.
@@ -143,36 +533,115 @@ func parseDur(s string) (sim.Duration, error) {
 	return 0, fmt.Errorf("time %q needs a unit (ns|us|ms|s)", s)
 }
 
-// Apply schedules every directive onto net. Port targets ("a->b")
+// Apply schedules the whole timeline onto net. Port targets ("a->b")
 // resolve against port names; "" or "bottleneck" resolves to the given
-// bottleneck port. Stall targets resolve against host names, defaulting
-// to the first host.
+// bottleneck port; stall targets resolve against host names, defaulting
+// to the first host. Chaos schedules are expanded here: occurrence
+// times (and their jitter, drawn from a stream forked off the engine's)
+// are fixed at Apply, so the expansion — like everything downstream of
+// it — is a pure function of the run seed.
 func (pl Plan) Apply(net *netem.Network, bottleneck *netem.Port) error {
 	in := NewInjector(net)
-	for _, d := range pl {
-		switch d.Kind {
-		case "flap", "loss":
-			p := bottleneck
-			if d.Target != "" && d.Target != "bottleneck" {
-				p = portByName(net, d.Target)
-			}
-			if p == nil {
-				return fmt.Errorf("faults: no port matches %q", d.Target)
-			}
-			if d.Kind == "flap" {
-				in.FlapLink(p, d.At, d.Dur)
-			} else {
-				in.Loss(p, d.CreditRate, d.DataRate, d.At, d.Dur)
-			}
-		case "stall":
-			h := hostByName(net, d.Target)
-			if h == nil {
-				return fmt.Errorf("faults: no host matches %q", d.Target)
-			}
-			in.StallHost(h, d.At, d.Dur)
-		default:
-			return fmt.Errorf("faults: unknown fault kind %q", d.Kind)
+	for _, d := range pl.Directives {
+		if err := applyDirective(in, net, bottleneck, d, d.At, d.Dur, d.Target); err != nil {
+			return err
 		}
+	}
+	for _, sc := range pl.Schedules {
+		if err := sc.apply(in, net, bottleneck); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc Schedule) apply(in *Injector, net *netem.Network, bottleneck *netem.Port) error {
+	var rng *sim.Rand
+	if sc.Jitter > 0 {
+		rng = in.eng.Rand().Fork()
+	}
+	end := sc.At + sim.Time(sc.Dur)
+	for i := 0; sc.Count == 0 || i < sc.Count; i++ {
+		occ := sc.At + sim.Time(i)*sim.Time(sc.Period)
+		if rng != nil {
+			occ += sim.Time(rng.Range(0, sc.Jitter))
+		}
+		if occ >= end {
+			break
+		}
+		for _, d := range sc.Inner {
+			dur := d.Dur
+			if sc.Duty > 0 {
+				dur = sim.Duration(float64(sc.Period) * sc.Duty)
+			}
+			target := d.Target
+			if sc.Roll && target == "" {
+				if d.Kind == "stall" {
+					hosts := net.Hosts()
+					if len(hosts) > 0 {
+						target = hosts[i%len(hosts)].Name()
+					}
+				} else {
+					ports := net.AllPorts()
+					if len(ports) > 0 {
+						target = ports[i%len(ports)].Name()
+					}
+				}
+			}
+			if err := applyDirective(in, net, bottleneck, d, occ+sim.Time(d.At), dur, target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyDirective schedules one directive at an explicit time/duration/
+// target (chaos-schedule expansion overrides all three).
+func applyDirective(in *Injector, net *netem.Network, bottleneck *netem.Port,
+	d Directive, at sim.Time, dur sim.Duration, target string) error {
+	if d.Kind == "stall" {
+		h := hostByName(net, target)
+		if h == nil {
+			return fmt.Errorf("faults: no host matches %q", target)
+		}
+		in.StallHost(h, at, dur)
+		return nil
+	}
+	p := bottleneck
+	if target != "" && target != "bottleneck" {
+		p = portByName(net, target)
+	}
+	if p == nil {
+		return fmt.Errorf("faults: no port matches %q", target)
+	}
+	switch d.Kind {
+	case "flap":
+		in.FlapLink(p, at, dur)
+	case "loss":
+		if d.Corr > 0 {
+			in.CorrelatedLoss(p, d.Class, d.Rate, d.Corr, at, dur)
+		} else {
+			in.Loss(p, d.CreditRate, d.DataRate, at, dur)
+		}
+	case "gemodel":
+		in.GEModelLoss(p, d.Class, d.P, d.R, d.H, d.K, at, dur)
+	case "state":
+		in.StateLoss(p, d.Class, d.P13, d.P31, d.P23, d.P32, d.P14, at, dur)
+	case "dup":
+		in.Duplicate(p, d.Class, d.Rate, at, dur)
+	case "corrupt":
+		in.Corrupt(p, d.Class, d.Rate, at, dur)
+	case "reorder":
+		in.Reorder(p, d.Rate, d.MaxExtra, at, dur)
+	case "jitter":
+		if d.Axis == "delay" {
+			in.DelayJitter(p, d.Dist, sim.Duration(d.Mean), at, dur)
+		} else {
+			in.RateJitter(p, d.Dist, d.Mean, at, dur)
+		}
+	default:
+		return fmt.Errorf("faults: unknown fault kind %q", d.Kind)
 	}
 	return nil
 }
@@ -209,8 +678,9 @@ func hostByName(net *netem.Network, name string) *netem.Host {
 var defaultPlan Plan
 
 // SetDefault installs plan as the process-wide default fault timeline
-// (nil clears it).
+// (the zero Plan clears it).
 func SetDefault(plan Plan) { defaultPlan = plan }
 
-// Default returns the process-wide fault timeline, nil when unset.
+// Default returns the process-wide fault timeline; check Empty() before
+// using it.
 func Default() Plan { return defaultPlan }

@@ -467,29 +467,58 @@ func (c *Checker) onFaultDrop(ev obs.Event) {
 	}
 }
 
-// onFaultStart reacts to a host-stall fault: a credit-processing stall
-// releases the accumulated credits' data in one line-rate burst,
-// deliberately violating the bounded-Δd_host premise the §3.1 bound is
-// derived from — and the burst propagates to every downstream queue,
-// not just the stalled NIC. Queue/delay findings for the whole run are
-// therefore void (Finish discards them); conservation and token-bucket
-// checks stay armed, since a stall must not mint or over-admit credits.
-// (EvRouteBuild voids the run the same way: credits granted under the
-// old routing release data onto paths whose credit limiters never
-// admitted them.)
-func (c *Checker) onFaultStart(ev obs.Event) {
-	const pre = "stall:"
-	if len(ev.Scope) <= len(pre) || ev.Scope[:len(pre)] != pre {
-		return
+// faultKind returns the "<kind>" half of a "<kind>:<target>" fault
+// scope (the whole scope when there is no colon).
+func faultKind(scope string) string {
+	for i := 0; i < len(scope); i++ {
+		if scope[i] == ':' {
+			return scope[:i]
+		}
 	}
-	c.voided = true
-	name := ev.Scope[len(pre):]
-	for _, h := range c.net.Hosts() {
-		if h.Name() == name {
-			if ps := c.portState(h.NIC().Name()); ps != nil {
-				ps.exemptNow()
-			}
+	return scope
+}
+
+// onFaultStart classifies a starting fault by whether it breaks a
+// premise the §3.1 positional bounds are derived from.
+//
+// Voiding faults (queue/delay findings for the whole run are discarded
+// by Finish; conservation and token-bucket checks stay armed — no fault
+// may mint, double-spend, or over-admit credits):
+//
+//   - stall: a credit-processing stall releases the accumulated
+//     credits' data in one line-rate burst, violating the bounded
+//     Δd_host premise — and the burst propagates to every downstream
+//     queue, not just the stalled NIC (which is additionally exempted
+//     outright). EvRouteBuild voids the run the same way: credits
+//     granted under the old routing release data onto paths whose
+//     credit limiters never admitted them.
+//   - dup: duplicated data frames are uncredited bytes in data queues.
+//   - reorder / jitter-delay: held-back packets land in clusters,
+//     breaking the paced-arrival premise of the delay bound.
+//   - jitter-rate: the bound assumes a fixed service rate; a stretched
+//     transmitter serves slower than the credits were metered for.
+//
+// Non-voiding faults — flap, seeded loss, the correlated loss models
+// (gemodel/state/corrloss), and corruption — only remove packets, which
+// can never grow a queue past its healthy-run bound, so every check
+// stays armed through them.
+func (c *Checker) onFaultStart(ev obs.Event) {
+	switch faultKind(ev.Scope) {
+	case "dup", "reorder", "jitter-delay", "jitter-rate":
+		c.voided = true
+	case "stall":
+		c.voided = true
+		if len(ev.Scope) <= len("stall:") {
 			return
+		}
+		name := ev.Scope[len("stall:"):]
+		for _, h := range c.net.Hosts() {
+			if h.Name() == name {
+				if ps := c.portState(h.NIC().Name()); ps != nil {
+					ps.exemptNow()
+				}
+				return
+			}
 		}
 	}
 }

@@ -91,6 +91,12 @@ type Host struct {
 
 	// Unclaimed counts packets that arrived for unregistered flows.
 	Unclaimed uint64
+
+	// CorruptDrops counts frames that failed the NIC CRC check on
+	// delivery — marked Corrupt in flight by a corruption impairment and
+	// destroyed here, before demux, exactly like real NIC receive-path
+	// CRC filtering.
+	CorruptDrops uint64
 }
 
 // ID returns the host's node ID.
@@ -238,6 +244,17 @@ func (h *Host) CreditStallUntil() sim.Time { return h.stallUntil }
 func (h *Host) Deliver(pkt *packet.Packet, in *Port) {
 	if in != nil {
 		in.pfcOnDepart(pkt) // consumed here: release ingress accounting
+	}
+	if pkt.Corrupt {
+		// NIC CRC check: the damaged frame spent queue space and wire
+		// time all the way here, but the transport never sees it.
+		h.CorruptDrops++
+		if tr := h.Tracer(); tr != nil {
+			tr.Emit(obs.Event{T: h.eng.Now(), Type: obs.EvCorruptDrop, Scope: h.name,
+				Flow: int64(pkt.Flow), Seq: pkt.Seq, Bytes: pkt.Wire})
+		}
+		packet.Put(pkt)
+		return
 	}
 	fl := pkt.Flow
 	if uint64(fl) >= uint64(len(h.eps)) || h.eps[fl] == nil { // unsigned compare also rejects fl < 0

@@ -251,6 +251,37 @@ func (n *Network) TotalFaultDrops() uint64 {
 	return d
 }
 
+// TotalDuplicates sums packets cloned by duplication impairments across
+// all ports.
+func (n *Network) TotalDuplicates() uint64 {
+	var d uint64
+	for _, p := range n.ports {
+		d += p.faultDups
+	}
+	return d
+}
+
+// TotalCorruptDrops sums frames dropped by host NIC CRC checks — the
+// delivery-side account of corruption impairments. Frames corrupted but
+// still in flight (or destroyed by another fault first) are not counted.
+func (n *Network) TotalCorruptDrops() uint64 {
+	var d uint64
+	for _, h := range n.hosts {
+		d += h.CorruptDrops
+	}
+	return d
+}
+
+// TotalReorders sums packets held back by reorder impairments across all
+// ports.
+func (n *Network) TotalReorders() uint64 {
+	var d uint64
+	for _, p := range n.ports {
+		d += p.faultReorders
+	}
+	return d
+}
+
 // linkUp reports whether the full-duplex link through p is healthy in
 // BOTH directions — no failure mark and no hard-down state on either
 // side. Routing (buildRoutesTo) calls this directly rather than any

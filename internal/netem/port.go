@@ -121,6 +121,14 @@ type Port struct {
 	faultDrops     uint64
 	faultDropBytes unit.Bytes
 
+	// impair, when non-nil, holds the installed impairment block (model
+	// loss, duplication, corruption, reordering, jitter — see impair.go).
+	// Healthy ports pay one nil check at admit and one at transmit.
+	impair        *impairment
+	faultDups     uint64 // packets cloned by duplication impairments
+	faultCorrupts uint64 // packets marked corrupt in flight
+	faultReorders uint64 // packets held back by reorder impairments
+
 	// trace, when non-nil, receives per-packet events. The nil check at
 	// each emission site is the whole cost of disabled tracing.
 	trace *obs.Tracer
@@ -157,6 +165,9 @@ type PortStats struct {
 
 	FaultDrops     uint64     // packets destroyed by injected faults
 	FaultDropBytes unit.Bytes // wire bytes destroyed by injected faults
+	FaultDups      uint64     // packets cloned by duplication impairments
+	FaultCorrupts  uint64     // packets marked corrupt in flight
+	FaultReorders  uint64     // packets held back by reorder impairments
 }
 
 // Stats returns a snapshot of the port's counters.
@@ -177,6 +188,9 @@ func (p *Port) Stats() PortStats {
 		PFCPauses:         p.PFCPauses(),
 		FaultDrops:        p.faultDrops,
 		FaultDropBytes:    p.faultDropBytes,
+		FaultDups:         p.faultDups,
+		FaultCorrupts:     p.faultCorrupts,
+		FaultReorders:     p.faultReorders,
 	}
 }
 
@@ -307,6 +321,25 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 			return
 		}
 	}
+	if im := p.impair; im != nil {
+		clone, ok := p.impairAdmit(im, pkt, now)
+		if !ok {
+			return
+		}
+		p.enqueueAdmitted(pkt, now)
+		if clone != nil {
+			// The clone rides the same egress class right behind the
+			// original (netem's duplication is in-order, like tc's).
+			p.enqueueAdmitted(clone, now)
+		}
+		return
+	}
+	p.enqueueAdmitted(pkt, now)
+}
+
+// enqueueAdmitted is the back half of Enqueue: classing, marking, and
+// queueing for a packet that survived the fault/impairment admit hooks.
+func (p *Port) enqueueAdmitted(pkt *packet.Packet, now sim.Time) {
 	if pkt.IsCredit() && (p.sched != nil || p.credit.cap > 0) {
 		var rng *sim.Rand
 		if !p.cfg.CreditTailDrop {
@@ -446,6 +479,21 @@ func portSetDataPaused(obj, _ any, arg uint64) {
 func (p *Port) transmit(pkt *packet.Packet) {
 	p.busy = true
 	tx := unit.TxTime(pkt.Wire, p.cfg.Rate)
+	// Departure-side impairments. Rate jitter stretches serialization
+	// (the transmitter stays busy longer — real head-of-line impact);
+	// delay jitter and reordering only add wire time, so they delay this
+	// packet without touching the transmitter. All extras are ≥ 0:
+	// arrivals never land earlier than the configured propagation delay,
+	// which sharded-run lookahead is sized to.
+	var wireExtra sim.Duration
+	if im := p.impair; im != nil {
+		if f := im.rateJitter; f != nil {
+			if s := f(); s > 0 {
+				tx += sim.Duration(float64(tx) * s)
+			}
+		}
+		wireExtra = p.impairDepart(im)
+	}
 	p.txPackets++
 	p.txBytes += pkt.Wire
 	switch pkt.Kind {
@@ -484,7 +532,7 @@ func (p *Port) transmit(pkt *packet.Packet) {
 	// The arrival executes at the far node: schedule it in this link
 	// direction's delivery domain, crossing shards through the outbox
 	// when the peer lives elsewhere.
-	arrive := done + p.cfg.Delay
+	arrive := done + p.cfg.Delay + wireExtra
 	p.eng.Post(p.peer.eng, p.linkDom, arrive, portArrive, p, pkt, 0)
 }
 

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"testing"
+
+	"expresspass/internal/sim"
+)
+
+// collectSink gathers recorded events in order.
+type collectSink struct{ evs []Event }
+
+func (s *collectSink) Record(ev Event) { s.evs = append(s.evs, ev) }
+func (s *collectSink) Close() error    { return nil }
+
+func TestShardBufDirectModeForwards(t *testing.T) {
+	eng := sim.New(1)
+	sink := &collectSink{}
+	dst := NewTracer(sink)
+	b := NewShardBuf(eng)
+	b.SetDest(dst)
+
+	b.Record(Event{Type: EvDataSend, Scope: "h0", Seq: 1})
+	h := NewRegistry().Histogram("fct", []float64{1, 2, 4})
+	b.Observe(h, 1.5)
+	if len(sink.evs) != 1 || sink.evs[0].Seq != 1 {
+		t.Fatalf("direct Record not forwarded: %v", sink.evs)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("direct Observe not applied: count %d", h.Count())
+	}
+	// A nil destination in direct mode drops events without panicking.
+	b.SetDest(nil)
+	b.Record(Event{Type: EvDataSend})
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardBufMergeReplaysKeyOrder pins the merge contract: entries
+// buffered by separate shard engines replay to the destination in
+// global (time, dom, seq) key order — the serial emission order — and
+// deferred histogram observations apply in that same order.
+func TestShardBufMergeReplaysKeyOrder(t *testing.T) {
+	sink := &collectSink{}
+	dst := NewTracer(sink)
+	reg := NewRegistry()
+	h := reg.Histogram("fct", []float64{1, 10})
+
+	// Two shard engines, each buffering from its own event stream.
+	// Interleave the timestamps so merged order differs from
+	// concatenation order.
+	mk := func(seed uint64, times []sim.Time, seqBase int64) *ShardBuf {
+		eng := sim.New(seed)
+		b := NewShardBuf(eng)
+		b.SetDest(dst)
+		b.SetDirect(false)
+		for i, at := range times {
+			i, at := i, at
+			eng.At(at, func() {
+				b.Record(Event{Type: EvDataSend, T: at, Seq: seqBase + int64(i)})
+				b.Observe(h, float64(at))
+			})
+		}
+		eng.Run()
+		return b
+	}
+	a := mk(1, []sim.Time{10, 30, 50}, 100)
+	c := mk(2, []sim.Time{20, 40, 60}, 200)
+
+	if len(sink.evs) != 0 {
+		t.Fatalf("buffered mode leaked %d events before merge", len(sink.evs))
+	}
+	MergeShardBufs([]*ShardBuf{a, c})
+
+	want := []int64{100, 200, 101, 201, 102, 202} // by timestamp 10..60
+	if len(sink.evs) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(sink.evs), len(want))
+	}
+	for i, ev := range sink.evs {
+		if ev.Seq != want[i] {
+			t.Fatalf("merge order: event %d has seq %d, want %d", i, ev.Seq, want[i])
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("merged histogram count %d, want 6", h.Count())
+	}
+	// The merge empties the buffers: a second merge replays nothing.
+	MergeShardBufs([]*ShardBuf{a, c})
+	if len(sink.evs) != len(want) {
+		t.Fatal("second merge replayed stale entries")
+	}
+}
+
+// TestTracerWithSink checks the filter-preserving re-sink used to hand
+// each shard a buffering tracer.
+func TestTracerWithSink(t *testing.T) {
+	orig := NewTracer(&collectSink{}, EvCreditDrop)
+	sink := &collectSink{}
+	tr := orig.WithSink(sink)
+	tr.Emit(Event{Type: EvCreditDrop})
+	tr.Emit(Event{Type: EvDataSend}) // filtered, as in the original
+	if len(sink.evs) != 1 || sink.evs[0].Type != EvCreditDrop {
+		t.Fatalf("WithSink filter mismatch: %v", sink.evs)
+	}
+}

@@ -107,6 +107,17 @@ const (
 	// checker's credit-conservation ledger) must clear that ID's state,
 	// since subsequent events carrying it belong to a different flow.
 	EvFlowRetire
+	// EvFaultDup: an injected duplication impairment cloned a packet at a
+	// port's egress — two copies of the same frame are now in flight.
+	// Scope is the port name; Flow/Seq/Bytes identify the duplicated
+	// packet. Endpoint dedup windows must make the clone a no-op for
+	// credit conservation and delivered-byte accounting.
+	EvFaultDup
+	// EvCorruptDrop: a frame marked corrupt by an injected impairment
+	// reached its destination host and failed the NIC CRC check; it is
+	// dropped at delivery, before demux. Scope is the host name;
+	// Flow/Seq/Bytes identify the victim.
+	EvCorruptDrop
 
 	numEventTypes
 )
@@ -131,6 +142,8 @@ var eventNames = [numEventTypes]string{
 	EvCreditTx:     "credit_tx",
 	EvRouteBuild:   "route_build",
 	EvFlowRetire:   "flow_retire",
+	EvFaultDup:     "fault_dup",
+	EvCorruptDrop:  "corrupt_drop",
 }
 
 func (t EventType) String() string {

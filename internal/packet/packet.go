@@ -112,6 +112,12 @@ type Packet struct {
 	CE         bool // congestion experienced, set by switches
 	ECNEcho    bool // ACK: receiver echoing CE
 
+	// Corrupt marks a frame damaged in flight by an injected corruption
+	// impairment. Switches forward it unexamined (cut-through fabrics do
+	// not verify CRC); the destination host's NIC fails the CRC check and
+	// drops it at delivery (see netem.Host.Deliver).
+	Corrupt bool
+
 	// RCPRate is the minimum of the per-link explicit rates along the
 	// path, stamped by switches and echoed to the sender (RCP baseline).
 	RCPRate unit.Rate

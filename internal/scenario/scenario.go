@@ -171,33 +171,107 @@ func buildFlows(net *netem.Network, gen *sim.Rand, opt Options, rep *Report) []*
 	return flows
 }
 
-// buildFaults injects one or two faults inside the expected busy window.
+// buildFaults draws one or two impairment clauses — sometimes wrapped
+// in a recurring every{} chaos schedule — renders them as a -faults
+// spec string, and applies the parsed plan. The spec is recorded in the
+// report, so a violating seed prints the exact timeline it ran and the
+// generator doubles as end-to-end fuzz coverage of the spec grammar.
 func buildFaults(net *netem.Network, gen *sim.Rand, rep *Report) {
-	inj := faults.NewInjector(net)
 	ports := net.AllPorts()
 	hosts := net.Hosts()
-	n := 1 + gen.Intn(2)
-	for i := 0; i < n; i++ {
-		at := sim.Time(gen.Range(200*sim.Microsecond, sim.Millisecond))
-		dur := gen.Range(50*sim.Microsecond, 500*sim.Microsecond)
-		switch gen.Intn(3) {
+	usec := func(d sim.Duration) int64 {
+		u := int64(d / sim.Microsecond)
+		if u < 1 {
+			u = 1
+		}
+		return u
+	}
+	port := func() string { return ports[gen.Intn(len(ports))].Name() }
+	class := func() string { return []string{"credit", "data", "both"}[gen.Intn(3)] }
+	dist := func() string { return []string{"uniform", "normal", "pareto"}[gen.Intn(3)] }
+	// clause draws one impairment head (no timing). Schedules with roll
+	// leave targets empty so the rotation has something to rotate.
+	clause := func(targeted bool) string {
+		target := ""
+		if targeted {
+			target = ":" + port()
+		}
+		switch gen.Intn(9) {
 		case 0:
-			p := ports[gen.Intn(len(ports))]
-			inj.FlapLink(p, at, dur)
-			rep.Faults = append(rep.Faults,
-				fmt.Sprintf("flap %s @%v for %v", p.Name(), at, dur))
+			return "flap" + target
 		case 1:
-			p := ports[gen.Intn(len(ports))]
-			cr := 0.3 * gen.Float64()
-			dr := 0.3 * gen.Float64()
-			inj.Loss(p, cr, dr, at, dur)
-			rep.Faults = append(rep.Faults,
-				fmt.Sprintf("loss %s c=%.2f d=%.2f @%v for %v", p.Name(), cr, dr, at, dur))
+			if !targeted {
+				return "stall"
+			}
+			return "stall:" + hosts[gen.Intn(len(hosts))].Name()
 		case 2:
-			h := hosts[gen.Intn(len(hosts))]
-			inj.StallHost(h, at, dur)
-			rep.Faults = append(rep.Faults,
-				fmt.Sprintf("stall %s @%v for %v", h.Name(), at, dur))
+			if gen.Intn(2) == 0 {
+				return fmt.Sprintf("loss:%s:%.3f%s", class(), 0.3*gen.Float64(), target)
+			}
+			return fmt.Sprintf("loss:%s:%.3f:corr=%.2f%s",
+				class(), 0.3*gen.Float64(), gen.Float64(), target)
+		case 3:
+			return fmt.Sprintf("gemodel:%s:%.3f:%.2f%s",
+				class(), 0.01+0.2*gen.Float64(), 0.1+0.8*gen.Float64(), target)
+		case 4:
+			return fmt.Sprintf("state:%s:%.3f%s", class(), 0.01+0.2*gen.Float64(), target)
+		case 5:
+			return fmt.Sprintf("dup:%s:%.3f%s", class(), 0.1*gen.Float64(), target)
+		case 6:
+			return fmt.Sprintf("corrupt:%s:%.3f%s", class(), 0.1*gen.Float64(), target)
+		case 7:
+			return fmt.Sprintf("reorder:%.3f:%dus%s", 0.2*gen.Float64(),
+				usec(gen.Range(5*sim.Microsecond, 50*sim.Microsecond)), target)
+		default:
+			if gen.Intn(2) == 0 {
+				return fmt.Sprintf("jitter:delay:%s:%dus%s", dist(),
+					usec(gen.Range(sim.Microsecond, 20*sim.Microsecond)), target)
+			}
+			return fmt.Sprintf("jitter:rate:%s:%.2f%s", dist(), 0.05+0.3*gen.Float64(), target)
 		}
 	}
+	var clauses []string
+	n := 1 + gen.Intn(2)
+	for i := 0; i < n; i++ {
+		if gen.Intn(4) == 0 {
+			// Recurring chaos schedule: 2–4 occurrences of 1–2 inner
+			// clauses, optionally jittered and rolling across targets.
+			period := gen.Range(100*sim.Microsecond, 400*sim.Microsecond)
+			count := 2 + gen.Intn(3)
+			opts := fmt.Sprintf(":count=%d", count)
+			if gen.Intn(2) == 0 {
+				opts += fmt.Sprintf(":jitter=%dus", usec(gen.Range(5*sim.Microsecond, period/4)))
+			}
+			roll := gen.Intn(2) == 0
+			if roll {
+				opts += ":roll"
+			}
+			inner := fmt.Sprintf("%s@0us+%dus",
+				clause(!roll), usec(gen.Range(20*sim.Microsecond, period/2)))
+			if gen.Intn(2) == 0 {
+				inner += fmt.Sprintf("; %s@0us+%dus",
+					clause(!roll), usec(gen.Range(20*sim.Microsecond, period/2)))
+			}
+			at := gen.Range(200*sim.Microsecond, sim.Millisecond)
+			total := sim.Duration(count) * period
+			clauses = append(clauses, fmt.Sprintf("every:%dus%s{ %s }@%dus+%dus",
+				usec(period), opts, inner, usec(at), usec(total)))
+			continue
+		}
+		at := gen.Range(200*sim.Microsecond, sim.Millisecond)
+		dur := gen.Range(50*sim.Microsecond, 500*sim.Microsecond)
+		clauses = append(clauses, fmt.Sprintf("%s@%dus+%dus",
+			clause(true), usec(at), usec(dur)))
+	}
+	spec := strings.Join(clauses, "; ")
+	plan, err := faults.ParseSpec(spec)
+	if err != nil {
+		// The generator only emits grammar-legal clauses; a parse error
+		// here is a fuzzer (or parser) bug worth a loud stop.
+		panic(fmt.Sprintf("scenario: generated invalid fault spec %q: %v", spec, err))
+	}
+	if err := plan.Apply(net, ports[0]); err != nil {
+		panic(fmt.Sprintf("scenario: fault spec %q failed to apply: %v", spec, err))
+	}
+	rep.Faults = append(rep.Faults, spec)
 }

@@ -62,6 +62,36 @@ func (r *Rand) Exp() float64 {
 	return -math.Log(u)
 }
 
+// Normal returns a standard-normal float64 (mean 0, stddev 1) via
+// Box-Muller. Both uniforms are always drawn and one output discarded,
+// so the stream position after a call is fixed regardless of the value
+// produced — spare-caching would make downstream draws depend on call
+// parity, which is hostile to replay debugging.
+func (r *Rand) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Pareto returns a Lomax (Pareto type II) variate with the given shape
+// alpha (> 1) and mean: scale = mean·(alpha−1), density decaying as
+// x^−(alpha+1). Heavy-tailed jitter models draw from this — most samples
+// are small, rare ones are many multiples of the mean.
+func (r *Rand) Pareto(alpha, mean float64) float64 {
+	if alpha <= 1 || mean <= 0 {
+		return mean
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	scale := mean * (alpha - 1)
+	return scale * (math.Pow(u, -1/alpha) - 1)
+}
+
 // ExpDuration returns an exponentially distributed Duration with the given
 // mean, used for Poisson flow inter-arrival times.
 func (r *Rand) ExpDuration(mean Duration) Duration {
